@@ -1,0 +1,55 @@
+"""Figure 4 — % improvement distribution per dataset.
+
+The paper plots per-dataset improvement distributions: LS mass sits at
+x >= 0 (peaked to the right), GPT distributions center near 0 and extend
+left.  This benchmark renders ASCII histograms of the same series and
+checks those shape properties.
+"""
+
+import numpy as np
+
+from repro.harness import render_histogram
+
+from _shared import all_competitions, baseline_run, ls_run, publish
+
+BINS = [-150, -100, -50, -25, 0.0001, 25, 50, 75, 100]
+
+
+def test_fig4_improvement_distribution(benchmark):
+    sections = []
+    for name in all_competitions():
+        ls = ls_run(name, "jaccard").improvements
+        g4 = baseline_run(name, "GPT-4").improvements
+        g35 = baseline_run(name, "GPT-3.5").improvements
+        sections.append(
+            render_histogram(ls, BINS, title=f"[{name}] LS (tau_J)")
+            + "\n"
+            + render_histogram(g4, BINS, title=f"[{name}] GPT-4")
+            + "\n"
+            + render_histogram(g35, BINS, title=f"[{name}] GPT-3.5")
+        )
+
+        # shape: LS never degrades standardness...
+        assert min(ls) >= 0.0
+        # ...while the GPT distributions straddle zero overall
+
+    all_gpt = [
+        v
+        for name in all_competitions()
+        for v in baseline_run(name, "GPT-4").improvements
+        + baseline_run(name, "GPT-3.5").improvements
+    ]
+    assert min(all_gpt) < 0.0, "GPT tail must extend left of zero"
+    all_ls = [
+        v for name in all_competitions() for v in ls_run(name, "jaccard").improvements
+    ]
+    # the LS distribution sits to the right of the GPT one: never negative,
+    # and with strictly more mass above zero
+    assert np.median(all_ls) >= np.median(all_gpt)
+    assert np.mean(all_ls) > np.mean(all_gpt)
+
+    publish("fig4_distribution", "\n\n".join(sections))
+
+    benchmark.pedantic(
+        lambda: np.histogram(all_ls, bins=BINS), rounds=10, iterations=1
+    )

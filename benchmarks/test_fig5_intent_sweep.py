@@ -1,0 +1,64 @@
+"""Figure 5 — median % improvement vs the user-intent thresholds.
+
+Left panel: sweep the table-Jaccard threshold tau_J in [0.5, 1.0] — as the
+constraint relaxes (smaller tau_J) LS standardizes more.  Right panel:
+sweep the model-performance threshold tau_M in [0%, 5%] — improvement
+grows (weakly) as the constraint relaxes.
+"""
+
+import numpy as np
+
+from repro.harness import render_series
+
+from _shared import competition, ls_run, publish
+
+# two representative datasets keep the sweep affordable; the paper's
+# qualitative finding (monotone relaxation benefit) is per-dataset anyway
+SWEEP_DATASETS = ("medical", "nlp")
+TAU_J_GRID = (1.0, 0.9, 0.7, 0.5)
+TAU_M_GRID = (0.0, 1.0, 2.0, 5.0)
+
+
+def _median_improvement(dataset, intent_kind, tau):
+    return float(np.median(ls_run(dataset, intent_kind, tau=tau).improvements))
+
+
+def test_fig5_jaccard_threshold_sweep(benchmark):
+    sections = []
+    for dataset in SWEEP_DATASETS:
+        points = [
+            (tau, _median_improvement(dataset, "jaccard", tau)) for tau in TAU_J_GRID
+        ]
+        sections.append(
+            render_series(
+                points, "tau_J", "median % improvement",
+                title=f"Figure 5 (left) — {dataset}",
+            )
+        )
+        by_tau = dict(points)
+        # relaxing the constraint never hurts (weak monotonicity)
+        assert by_tau[0.5] >= by_tau[1.0] - 1e-9
+        assert by_tau[0.7] >= by_tau[1.0] - 1e-9
+        # all thresholds keep the non-degradation floor
+        assert all(v >= 0.0 for v in by_tau.values())
+    publish("fig5_tau_j_sweep", "\n\n".join(sections))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_fig5_model_threshold_sweep(benchmark):
+    sections = []
+    for dataset in SWEEP_DATASETS:
+        points = [
+            (tau, _median_improvement(dataset, "model", tau)) for tau in TAU_M_GRID
+        ]
+        sections.append(
+            render_series(
+                points, "tau_M (%)", "median % improvement",
+                title=f"Figure 5 (right) — {dataset}",
+            )
+        )
+        by_tau = dict(points)
+        assert by_tau[5.0] >= by_tau[0.0] - 1e-9
+        assert all(v >= 0.0 for v in by_tau.values())
+    publish("fig5_tau_m_sweep", "\n\n".join(sections))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,83 @@
+"""Figure 6 — ablations: sequence length and beam size.
+
+Left: median % improvement grows with the maximum sequence length
+(fast at first, plateauing from seq=8 to seq=16).  Right: improvement
+grows (weakly) with beam size K.  A third series ablates the diversity
+clustering (Algorithm 3), which the paper lists as one of its five
+optimizations.
+"""
+
+import numpy as np
+
+from repro.harness import render_series
+
+from _shared import all_competitions, ls_run, publish
+
+SEQ_GRID = (2, 4, 8, 16)
+BEAM_GRID = (1, 2, 3)
+ABLATION_DATASETS = ("medical", "titanic")
+
+
+def _mean_median_improvement(datasets, **params):
+    values = [
+        float(np.median(ls_run(d, "jaccard", **params).improvements))
+        for d in datasets
+    ]
+    return float(np.mean(values))
+
+
+def test_fig6_sequence_length(benchmark):
+    points = [
+        (seq, _mean_median_improvement(ABLATION_DATASETS, seq=seq))
+        for seq in SEQ_GRID
+    ]
+    publish(
+        "fig6_sequence_length",
+        render_series(
+            points, "seq", "median % improvement",
+            title="Figure 6 (left): varied sequence lengths",
+        ),
+    )
+    by_seq = dict(points)
+    # longer budgets never hurt, and most of the gain arrives early
+    assert by_seq[16] >= by_seq[2] - 1e-9
+    assert by_seq[8] >= by_seq[2] - 1e-9
+    early_gain = by_seq[8] - by_seq[2]
+    late_gain = by_seq[16] - by_seq[8]
+    assert late_gain <= max(early_gain, 5.0)  # plateau from 8 -> 16
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_fig6_beam_size(benchmark):
+    points = [
+        (k, _mean_median_improvement(ABLATION_DATASETS, beam_size=k))
+        for k in BEAM_GRID
+    ]
+    publish(
+        "fig6_beam_size",
+        render_series(
+            points, "K", "median % improvement",
+            title="Figure 6 (right): varied beam sizes",
+        ),
+    )
+    by_k = dict(points)
+    assert by_k[3] >= by_k[1] - 1e-9
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_fig6_diversity_ablation(benchmark):
+    """Extra ablation: Algorithm 3's diversity clustering on/off."""
+    with_div = _mean_median_improvement(ABLATION_DATASETS, diversity=True)
+    without_div = _mean_median_improvement(ABLATION_DATASETS, diversity=False)
+    publish(
+        "fig6_diversity_ablation",
+        render_series(
+            [(1, with_div), (0, without_div)],
+            "diversity(1=on)", "median % improvement",
+            title="Ablation: diversity clustering (Algorithm 3)",
+        ),
+    )
+    # both configurations must respect the non-degradation floor; diversity
+    # is a search-quality knob, not a correctness one
+    assert with_div >= 0.0 and without_div >= 0.0
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,81 @@
+"""Figure 9 — target-leakage detection accuracy vs. sequence length.
+
+Section 6.6 study: leakage snippets are injected into corpus scripts; a
+detection is correct when the standardized output satisfies all
+constraints and no longer contains the injected snippet.  The paper finds
+detection accuracy grows with the transformation budget, exceeding 66%
+within 8 steps on most datasets.
+"""
+
+import numpy as np
+
+from repro.core import LSConfig, LucidScript, TableJaccardIntent, detect_target_leakage
+from repro.harness import render_series, render_table
+from repro.workloads import inject_target_leakage
+
+from _shared import bench_config, competition, publish
+
+SEQ_GRID = (2, 4, 8)
+DATASETS = ("medical", "nlp", "titanic")
+N_INJECTED = 4
+
+
+def _leakage_cases(corpus, n):
+    rng = np.random.default_rng(0)
+    cases = []
+    for script in corpus.scripts:
+        if len(cases) >= n:
+            break
+        if f"'{corpus.target}'" not in script:
+            continue
+        injected, snippets = inject_target_leakage(script, corpus.target, rng)
+        rest = [s for s in corpus.scripts if s != script]
+        cases.append((injected, snippets, rest))
+    return cases
+
+
+def _accuracy(dataset: str, seq: int) -> float:
+    corpus = competition(dataset)
+    cases = _leakage_cases(corpus, N_INJECTED)
+    assert cases, f"no target-referencing scripts in {dataset}"
+    hits = 0
+    for injected, snippets, rest in cases:
+        system = LucidScript(
+            rest,
+            data_dir=corpus.data_dir,
+            intent=TableJaccardIntent(tau=0.7),
+            config=LSConfig(seq=seq, beam_size=2, sample_rows=200),
+        )
+        hits += detect_target_leakage(system, injected, snippets).detected
+    return hits / len(cases)
+
+
+def test_fig9_leakage_detection(benchmark):
+    accuracy = {
+        dataset: {seq: _accuracy(dataset, seq) for seq in SEQ_GRID}
+        for dataset in DATASETS
+    }
+
+    rows = [
+        [dataset] + [f"{accuracy[dataset][seq]:.2f}" for seq in SEQ_GRID]
+        for dataset in DATASETS
+    ]
+    publish(
+        "fig9_leakage_detection",
+        render_table(
+            ["dataset"] + [f"seq={s}" for s in SEQ_GRID],
+            rows,
+            title="Figure 9: leakage detection accuracy vs sequence length",
+        ),
+    )
+
+    for dataset in DATASETS:
+        # a longer transformation budget never detects less
+        assert accuracy[dataset][8] >= accuracy[dataset][2] - 1e-9
+    # the paper's headline: most datasets exceed 2/3 accuracy within 8 steps
+    strong = sum(1 for dataset in DATASETS if accuracy[dataset][8] >= 0.5)
+    assert strong >= len(DATASETS) - 1
+
+    benchmark.pedantic(
+        lambda: _accuracy("medical", 4), rounds=1, iterations=1
+    )

@@ -1,0 +1,196 @@
+"""Table 5 — % improvement on the six competitions, all methods and
+corpus setups.
+
+The paper's headline result: LS ~33%/26% mean improvement under tau_J /
+tau_M with a hard floor at 0, GPT-4 ~3% with heavy tails, GPT-3.5 slightly
+negative, and Sourcery / Auto-Suggest / Auto-Tables at exactly 0.  The
+corpus-robustness block (small / different / low-ranked corpus) degrades
+gracefully but stays positive.
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness import ImprovementStats, evaluate_lucidscript, render_table
+
+from _shared import (
+    MAX_SCRIPTS,
+    all_competitions,
+    baseline_run,
+    bench_config,
+    competition,
+    ls_run,
+    publish,
+)
+
+BASELINES = ("Sourcery", "GPT-3.5", "GPT-4", "Auto-Suggest", "Auto-Tables")
+
+
+def _pooled(runs):
+    values = [v for run in runs for v in run.improvements]
+    return ImprovementStats.from_values(values)
+
+
+def _row(label, stats):
+    r = stats.row()
+    return [label, r["min"], r["median"], r["max"], r["mean"]]
+
+
+def test_table5_full_corpus(benchmark):
+    datasets = list(all_competitions())
+    ls_j = _pooled([ls_run(d, "jaccard") for d in datasets])
+    ls_m = _pooled([ls_run(d, "model") for d in datasets])
+    baseline_stats = {
+        b: _pooled([baseline_run(d, b) for d in datasets]) for b in BASELINES
+    }
+
+    rows = [_row("LS (tau_J)", ls_j), _row("LS (tau_M)", ls_m)]
+    rows += [_row(b, baseline_stats[b]) for b in BASELINES]
+    publish(
+        "table5_full_corpus",
+        render_table(
+            ["Method", "min", "median", "max", "mean"],
+            rows,
+            title=(
+                "Table 5 (full-size corpus): % improvement, "
+                f"{MAX_SCRIPTS} user scripts per dataset"
+            ),
+        ),
+    )
+
+    # --- the paper's shape claims ----------------------------------------
+    # LS guarantees non-negative improvement and a solidly positive mean
+    assert ls_j.minimum >= 0.0
+    assert ls_m.minimum >= 0.0
+    assert ls_j.mean > 10.0
+    assert ls_m.mean > 5.0
+    # syntax/structural baselines achieve exactly 0
+    for method in ("Sourcery", "Auto-Suggest", "Auto-Tables"):
+        assert baseline_stats[method].minimum == 0.0
+        assert baseline_stats[method].maximum == 0.0
+    # GPT models: near-zero medians, tails both ways, far below LS
+    assert abs(baseline_stats["GPT-4"].median) < 10.0
+    assert baseline_stats["GPT-3.5"].minimum < 0.0
+    assert ls_j.mean > baseline_stats["GPT-4"].mean + 10.0
+    # GPT-4 is the stronger of the two GPTs, as in the paper
+    assert baseline_stats["GPT-4"].mean >= baseline_stats["GPT-3.5"].mean
+
+    medical = competition("medical")
+    user, rest = next(medical.leave_one_out())
+    from repro.core import LucidScript, TableJaccardIntent
+
+    system = LucidScript(
+        rest, data_dir=medical.data_dir,
+        intent=TableJaccardIntent(tau=0.9), config=bench_config(),
+    )
+    benchmark.pedantic(lambda: system.standardize(user), rounds=1, iterations=1)
+
+
+def test_table5_small_corpus(benchmark):
+    """Small corpus (10 scripts): the same user scripts as the full-size
+    run, standardized against a 10-script corpus drawn from the
+    remainder (so the comparison is apples-to-apples)."""
+    datasets = list(all_competitions())
+    runs_j, runs_m = [], []
+    for name in datasets:
+        corpus = competition(name)
+        small_reference = corpus.scripts[MAX_SCRIPTS : MAX_SCRIPTS + 10]
+        runs_j.append(
+            evaluate_lucidscript(
+                corpus, intent_kind="jaccard", config=bench_config(),
+                max_scripts=MAX_SCRIPTS, corpus_override=small_reference,
+            )
+        )
+        runs_m.append(
+            evaluate_lucidscript(
+                corpus, intent_kind="model", config=bench_config(),
+                max_scripts=MAX_SCRIPTS, corpus_override=small_reference,
+            )
+        )
+    small_j, small_m = _pooled(runs_j), _pooled(runs_m)
+    full_j = _pooled([ls_run(d, "jaccard") for d in datasets])
+
+    publish(
+        "table5_small_corpus",
+        render_table(
+            ["Method", "min", "median", "max", "mean"],
+            [_row("LS (tau_J)", small_j), _row("LS (tau_M)", small_m)],
+            title="Table 5 (small corpus, 10 scripts)",
+        )
+        + f"\n(full-size corpus mean for reference: {full_j.mean:.1f})",
+    )
+
+    assert small_j.minimum >= 0.0
+    assert small_j.mean > 0.0
+    # smaller corpus -> less headroom than the full corpus (paper: 33.6 -> 20.3)
+    assert small_j.mean <= full_j.mean + 5.0
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_table5_different_corpus(benchmark):
+    """Titanic corpus standardizing Spaceship scripts (shared schema)."""
+    spaceship = competition("spaceship")
+    titanic = competition("titanic")
+    run_j = evaluate_lucidscript(
+        spaceship, intent_kind="jaccard", config=bench_config(),
+        max_scripts=MAX_SCRIPTS, corpus_override=titanic.scripts,
+    )
+    run_m = evaluate_lucidscript(
+        spaceship, intent_kind="model", config=bench_config(),
+        max_scripts=MAX_SCRIPTS, corpus_override=titanic.scripts,
+    )
+    stats_j = run_j.stats()
+    stats_m = run_m.stats()
+    on_topic = ls_run("spaceship", "jaccard").stats()
+
+    publish(
+        "table5_different_corpus",
+        render_table(
+            ["Method", "min", "median", "max", "mean"],
+            [_row("LS (tau_J)", stats_j), _row("LS (tau_M)", stats_m)],
+            title="Table 5 (different corpus: Titanic corpus on Spaceship)",
+        )
+        + f"\n(on-topic Spaceship corpus mean for reference: {on_topic.mean:.1f})",
+    )
+
+    # a similar-schema foreign corpus still yields non-negative gains
+    # (the paper's takeaway); with 6-script samples the cross-vs-on-topic
+    # magnitudes are too noisy to order, so only the floor and the
+    # does-it-help-at-all properties are asserted
+    assert stats_j.minimum >= 0.0
+    assert stats_m.minimum >= 0.0
+    assert stats_j.maximum > 0.0
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_table5_low_ranked_corpus(benchmark):
+    """Bottom-30%-by-votes corpus: smallest but still non-negative gains."""
+    runs = []
+    for name in all_competitions():
+        low = competition(name).low_ranked(fraction=0.3)
+        runs.append(
+            evaluate_lucidscript(
+                low, intent_kind="jaccard", config=bench_config(),
+                max_scripts=MAX_SCRIPTS,
+            )
+        )
+    stats = _pooled(runs)
+    full = _pooled([ls_run(d, "jaccard") for d in all_competitions()])
+
+    publish(
+        "table5_low_ranked_corpus",
+        render_table(
+            ["Method", "min", "median", "max", "mean"],
+            [_row("LS (tau_J)", stats)],
+            title="Table 5 (low-ranked corpus: bottom 30% by votes)",
+        ),
+    )
+
+    assert stats.minimum >= 0.0
+    assert stats.mean >= 0.0
+    # low-quality corpus gives the least headroom (paper: 33.6 -> 7.8)
+    assert stats.mean <= full.mean + 5.0
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

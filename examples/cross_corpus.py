@@ -1,0 +1,64 @@
+"""The "different corpus" scenario (Section 6.3.3).
+
+No corpus exists for your dataset?  Use one from a similar dataset.  Here
+a Spaceship-Titanic script is standardized against the Titanic corpus —
+the two competitions share column names (Age) and conventions (target
+split), so transplanted steps that execute still standardize the script,
+though less than an on-topic corpus would (Table 5: 11% vs 33%).
+
+Run:  python examples/cross_corpus.py
+"""
+
+import tempfile
+
+from repro import LSConfig, LucidScript, TableJaccardIntent, build_competition
+
+
+SPACESHIP_USER_SCRIPT = (
+    "import pandas as pd\n"
+    "df = pd.read_csv('train.csv')\n"
+    "df = df[df['Age'] > 5]\n"
+    "df = df.drop('Cabin', axis=1)"
+)
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as root:
+        print("building the Titanic (corpus) and Spaceship (data) competitions...")
+        titanic = build_competition("titanic", root, seed=0, n_scripts=25)
+        spaceship = build_competition("spaceship", root, seed=0, n_scripts=4)
+
+        # on-topic: spaceship corpus on spaceship data
+        on_topic = LucidScript(
+            spaceship.scripts,
+            data_dir=spaceship.data_dir,
+            intent=TableJaccardIntent(tau=0.5),
+            config=LSConfig(seq=8, beam_size=3, sample_rows=200),
+        )
+        # cross-corpus: titanic corpus, spaceship data
+        cross = LucidScript(
+            titanic.scripts,
+            data_dir=spaceship.data_dir,
+            intent=TableJaccardIntent(tau=0.5),
+            config=LSConfig(seq=8, beam_size=3, sample_rows=200),
+        )
+
+        result_on = on_topic.standardize(SPACESHIP_USER_SCRIPT)
+        result_cross = cross.standardize(SPACESHIP_USER_SCRIPT)
+
+        print("\n== user script ==")
+        print(SPACESHIP_USER_SCRIPT)
+        print("\n== standardized with the on-topic Spaceship corpus ==")
+        print(result_on.output_script)
+        print(f"improvement: {result_on.improvement:.1f}%")
+        print("\n== standardized with the foreign Titanic corpus ==")
+        print(result_cross.output_script)
+        print(f"improvement: {result_cross.improvement:.1f}%")
+        print(
+            "\nAs in the paper, a similar-schema corpus still yields gains — "
+            "only steps that execute on the new dataset survive the search."
+        )
+
+
+if __name__ == "__main__":
+    main()

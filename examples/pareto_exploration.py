@@ -1,0 +1,71 @@
+"""Explore the intent-vs-standardness trade-off (Section 8 extension).
+
+Sweeps the table-Jaccard threshold tau_J and reports, per threshold, how
+much standardization was achieved and how much of the original intent was
+preserved — then prints the Pareto-efficient frontier the paper proposes
+as future work, with per-transformation explanations for the most
+aggressive frontier point.
+
+Run:  python examples/pareto_exploration.py
+"""
+
+import tempfile
+
+from repro import LSConfig, build_competition
+from repro.core import (
+    LucidScript,
+    explain_result,
+    explore_intent_thresholds,
+    pareto_frontier,
+)
+from repro.harness import render_table
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as root:
+        print("building the Medical competition...")
+        competition = build_competition("medical", root, seed=0, n_scripts=20)
+        user_script, corpus = next(competition.leave_one_out())
+
+        taus = [1.0, 0.9, 0.8, 0.6, 0.4]
+        points = explore_intent_thresholds(
+            corpus,
+            user_script,
+            taus=taus,
+            intent_kind="jaccard",
+            data_dir=competition.data_dir,
+            config=LSConfig(seq=8, beam_size=2, sample_rows=200),
+        )
+
+        rows = [
+            [f"{p.tau:.1f}", f"{p.improvement:.1f}%", f"{p.preservation():.3f}"]
+            for p in points
+        ]
+        print()
+        print(render_table(
+            ["tau_J", "% improvement", "intent preserved"],
+            rows,
+            title="Threshold sweep",
+        ))
+
+        frontier = pareto_frontier(points)
+        print("\nPareto frontier (safe -> aggressive):")
+        for p in frontier:
+            print(
+                f"  tau={p.tau:.1f}: {p.improvement:.1f}% improvement at "
+                f"{p.preservation():.3f} preservation"
+            )
+
+        aggressive = frontier[-1]
+        print("\nWhy the most aggressive frontier point changed what it did:")
+        system = LucidScript(
+            corpus, data_dir=competition.data_dir,
+            config=LSConfig(seq=8, beam_size=2, sample_rows=200),
+        )
+        result = system.standardize(user_script)
+        for explanation in explain_result(result, system.vocabulary):
+            print(explanation.render())
+
+
+if __name__ == "__main__":
+    main()

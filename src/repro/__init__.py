@@ -1,0 +1,60 @@
+"""LucidScript reproduction — bottom-up standardization of data-preparation
+scripts ("Toward Standardized Data Preparation: A Bottom-Up Approach",
+EDBT 2025).
+
+Quickstart::
+
+    from repro import LucidScript, TableJaccardIntent, LSConfig
+    system = LucidScript(corpus_scripts, data_dir="data/",
+                         intent=TableJaccardIntent(tau=0.9))
+    result = system.standardize(user_script)
+    print(result.output_script, result.improvement)
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: RE scoring, intent measures, beam search.
+``repro.lang``
+    Script representations: lemmatization, atoms, DAGs, vocabularies.
+``repro.minipandas``
+    A from-scratch pandas-compatible DataFrame (offline substrate).
+``repro.ml``
+    A from-scratch model substrate for the Δ_M intent measure.
+``repro.sandbox``
+    Script execution with pandas→minipandas injection.
+``repro.baselines``
+    Sourcery / GPT-3.5 / GPT-4 / Auto-Suggest / Auto-Tables stand-ins.
+``repro.workloads``
+    Synthetic versions of the six evaluation competitions.
+``repro.harness``
+    Leave-one-out experiment drivers and report rendering.
+"""
+
+from .core import (
+    LSConfig,
+    LucidScript,
+    ModelPerformanceIntent,
+    StandardizationError,
+    StandardizationResult,
+    TableJaccardIntent,
+    detect_target_leakage,
+    recommend_parameters,
+)
+from .workloads import ScriptCorpus, build_competition, competition_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LSConfig",
+    "LucidScript",
+    "ModelPerformanceIntent",
+    "ScriptCorpus",
+    "StandardizationError",
+    "StandardizationResult",
+    "TableJaccardIntent",
+    "__version__",
+    "build_competition",
+    "competition_names",
+    "detect_target_leakage",
+    "recommend_parameters",
+]

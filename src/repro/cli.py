@@ -1,0 +1,251 @@
+"""Command-line interface for the LucidScript reproduction.
+
+Subcommands::
+
+    python -m repro standardize --script prep.py --corpus-dir peers/ --data-dir data/
+    python -m repro score       --script prep.py --corpus-dir peers/
+    python -m repro explain     --script prep.py --corpus-dir peers/ --data-dir data/
+    python -m repro build-workload medical --out /tmp/workloads
+    python -m repro detect-leakage --script prep.py --corpus-dir peers/ \
+        --data-dir data/ --target Outcome
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from .core import (
+    LSConfig,
+    LucidScript,
+    ModelPerformanceIntent,
+    StandardizationError,
+    TableJaccardIntent,
+)
+from .core.explain import explain_result
+from .lang import CorpusVocabulary
+from .workloads import build_competition, competition_names
+
+__all__ = ["main", "build_parser"]
+
+
+def _read_corpus(corpus_dir: str) -> List[str]:
+    """Load a corpus: .py scripts plus flattened .ipynb notebooks."""
+    from .lang import scripts_from_notebook_dir
+
+    py_paths = sorted(glob.glob(os.path.join(corpus_dir, "*.py")))
+    nb_paths = sorted(glob.glob(os.path.join(corpus_dir, "*.ipynb")))
+    scripts = []
+    for path in py_paths:
+        with open(path, "r") as handle:
+            scripts.append(handle.read())
+    scripts.extend(scripts_from_notebook_dir(nb_paths))
+    if not scripts:
+        raise SystemExit(f"no .py or .ipynb scripts found in {corpus_dir!r}")
+    return scripts
+
+
+def _read_script(path: str) -> str:
+    with open(path, "r") as handle:
+        return handle.read()
+
+
+def _make_intent(args):
+    if args.target:
+        return ModelPerformanceIntent(target=args.target, tau=args.tau_m)
+    return TableJaccardIntent(tau=args.tau_j)
+
+
+def _make_config(args) -> LSConfig:
+    return LSConfig(
+        seq=args.seq,
+        beam_size=args.beam_size,
+        diversity=not args.no_diversity,
+        early_check=not args.late_check,
+        sample_rows=args.sample_rows,
+    )
+
+
+def _add_common(parser: argparse.ArgumentParser, with_search: bool = True) -> None:
+    parser.add_argument("--script", required=True, help="user script path")
+    parser.add_argument("--corpus-dir", required=True, help="directory of peer .py scripts")
+    if with_search:
+        parser.add_argument("--data-dir", help="directory holding the dataset CSVs")
+        parser.add_argument("--tau-j", type=float, default=0.9,
+                            help="table-Jaccard threshold (default 0.9)")
+        parser.add_argument("--tau-m", type=float, default=1.0,
+                            help="model-performance threshold %% (used with --target)")
+        parser.add_argument("--target", help="target column (switches to the tau_M intent)")
+        parser.add_argument("--seq", type=int, default=16, help="max transformations")
+        parser.add_argument("--beam-size", type=int, default=3, help="beam size K")
+        parser.add_argument("--no-diversity", action="store_true",
+                            help="disable Algorithm 3 diversity clustering")
+        parser.add_argument("--late-check", action="store_true",
+                            help="verify executability only at the end")
+        parser.add_argument("--sample-rows", type=int, default=500,
+                            help="row sample for constraint checks (0 = no sampling)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="LucidScript: bottom-up script standardization"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_std = sub.add_parser("standardize", help="standardize a script against a corpus")
+    _add_common(p_std)
+    p_std.add_argument("--output", help="write the standardized script here")
+
+    p_score = sub.add_parser("score", help="RE standardness score of a script")
+    _add_common(p_score, with_search=False)
+
+    p_explain = sub.add_parser("explain", help="standardize and explain each change")
+    _add_common(p_explain)
+
+    p_build = sub.add_parser("build-workload", help="materialize a synthetic competition")
+    p_build.add_argument("name", choices=competition_names())
+    p_build.add_argument("--out", required=True, help="output root directory")
+    p_build.add_argument("--seed", type=int, default=0)
+    p_build.add_argument("--n-scripts", type=int, default=None)
+
+    p_leak = sub.add_parser("detect-leakage", help="flag target-leakage-like steps")
+    _add_common(p_leak)
+
+    p_curate = sub.add_parser(
+        "curate", help="run the offline phase and persist the search space"
+    )
+    p_curate.add_argument("--corpus-dir", required=True,
+                          help="directory of peer .py scripts")
+    p_curate.add_argument("--out", required=True,
+                          help="path for the vocabulary JSON")
+
+    return parser
+
+
+def _resolve_sample_rows(args) -> Optional[int]:
+    return None if args.sample_rows == 0 else args.sample_rows
+
+
+def cmd_standardize(args) -> int:
+    corpus = _read_corpus(args.corpus_dir)
+    config = _make_config(args)
+    config.sample_rows = _resolve_sample_rows(args)
+    system = LucidScript(
+        corpus, data_dir=args.data_dir, intent=_make_intent(args), config=config
+    )
+    try:
+        result = system.standardize(_read_script(args.script))
+    except StandardizationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(result.output_script)
+    print(f"\n# {result.summary().replace(chr(10), chr(10) + '# ')}", file=sys.stderr)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(result.output_script + "\n")
+    return 0
+
+
+def cmd_score(args) -> int:
+    corpus = _read_corpus(args.corpus_dir)
+    system = LucidScript(corpus)
+    score = system.score(_read_script(args.script))
+    print(f"{score:.4f}")
+    return 0
+
+
+def cmd_explain(args) -> int:
+    corpus = _read_corpus(args.corpus_dir)
+    config = _make_config(args)
+    config.sample_rows = _resolve_sample_rows(args)
+    system = LucidScript(
+        corpus, data_dir=args.data_dir, intent=_make_intent(args), config=config
+    )
+    try:
+        result = system.standardize(_read_script(args.script))
+    except StandardizationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    explanations = explain_result(result, system.vocabulary)
+    if not explanations:
+        print("script is already standard; no changes recommended")
+        return 0
+    for explanation in explanations:
+        print(explanation.render())
+    print(f"\noverall: {result.improvement:.1f}% RE improvement")
+    return 0
+
+
+def cmd_build_workload(args) -> int:
+    corpus = build_competition(
+        args.name, args.out, seed=args.seed, n_scripts=args.n_scripts
+    )
+    scripts_dir = os.path.join(corpus.data_dir, "scripts")
+    os.makedirs(scripts_dir, exist_ok=True)
+    for position, script in enumerate(corpus.scripts):
+        with open(os.path.join(scripts_dir, f"script_{position:03d}.py"), "w") as handle:
+            handle.write(script + "\n")
+    print(f"data:    {os.path.join(corpus.data_dir, corpus.data_file)}")
+    print(f"scripts: {scripts_dir} ({len(corpus.scripts)} files)")
+    print(f"target:  {corpus.target} ({corpus.task})")
+    return 0
+
+
+def cmd_detect_leakage(args) -> int:
+    corpus = _read_corpus(args.corpus_dir)
+    config = _make_config(args)
+    config.sample_rows = _resolve_sample_rows(args)
+    system = LucidScript(
+        corpus, data_dir=args.data_dir, intent=_make_intent(args), config=config
+    )
+    try:
+        result = system.standardize(_read_script(args.script))
+    except StandardizationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    removed = result.removed_statements()
+    if not removed:
+        print("no out-of-the-ordinary steps flagged")
+        return 0
+    print("steps flagged as out-of-the-ordinary (removed by standardization):")
+    for line in removed:
+        prevalence = system.vocabulary.statement_frequency(line)
+        print(f"  {line}    [in {prevalence * 100:.0f}% of corpus scripts]")
+    return 0
+
+
+def cmd_curate(args) -> int:
+    from .lang import save_vocabulary
+
+    corpus = _read_corpus(args.corpus_dir)
+    vocabulary = CorpusVocabulary.from_scripts(corpus)
+    save_vocabulary(vocabulary, args.out)
+    stats = vocabulary.stats()
+    print(f"curated {stats.n_scripts} scripts -> {args.out}")
+    print(
+        f"vocabulary: {stats.uniq_onegrams} 1-grams, {stats.uniq_ngrams} n-grams, "
+        f"{stats.uniq_edges} edges"
+    )
+    return 0
+
+
+_COMMANDS = {
+    "curate": cmd_curate,
+    "standardize": cmd_standardize,
+    "score": cmd_score,
+    "explain": cmd_explain,
+    "build-workload": cmd_build_workload,
+    "detect-leakage": cmd_detect_leakage,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,324 @@
+"""The online search framework (Section 5.2, Algorithms 1-3).
+
+Beam search over transformation sequences: each candidate holds a working
+statement list, the transformations applied so far, and a monotonicity
+frontier.  ``GetSteps`` ranks legal next transformations by the relative
+entropy of the script they would produce; ``GetTopKBeams`` (optionally with
+the diversity clustering of Algorithm 3) extends the beam set; constraint
+verification happens early (α = on) or late.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..lang.errors import ScriptError
+from ..lang.parser import Statement, compute_edge_counts
+from ..lang.vocabulary import CorpusVocabulary
+from ..sandbox import check_executes
+from .config import LSConfig
+from .diversity import cluster_transformations
+from .entropy import RelativeEntropyScorer
+from .transformations import (
+    ADD,
+    DELETE,
+    Transformation,
+    apply_transformation,
+    enumerate_transformations,
+)
+
+__all__ = ["Candidate", "SearchStats", "BeamSearch"]
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One in-progress transformation sequence and its working script."""
+
+    statements: Tuple[Statement, ...]
+    applied: Tuple[Transformation, ...]
+    frontier: int
+    score: float
+
+    def source(self) -> str:
+        return "\n".join(s.source for s in self.statements)
+
+    @property
+    def n_transformations(self) -> int:
+        return len(self.applied)
+
+
+@dataclass
+class SearchStats:
+    """Runtime breakdown of one search (drives the Figure 7 reproduction)."""
+
+    get_steps_s: float = 0.0
+    get_top_k_s: float = 0.0
+    check_executes_s: float = 0.0
+    verify_constraints_s: float = 0.0
+    n_steps_enumerated: int = 0
+    n_exec_checks: int = 0
+    n_iterations: int = 0
+
+    def total_s(self) -> float:
+        return (
+            self.get_steps_s
+            + self.get_top_k_s
+            + self.check_executes_s
+            + self.verify_constraints_s
+        )
+
+    def breakdown(self) -> Dict[str, float]:
+        return {
+            "GetSteps": self.get_steps_s,
+            "GetTopKBeams": self.get_top_k_s,
+            "CheckIfExecutes": self.check_executes_s,
+            "VerifyConstraints": self.verify_constraints_s,
+        }
+
+
+class BeamSearch:
+    """Algorithm 1's meta-level framework over a fixed corpus vocabulary."""
+
+    def __init__(
+        self,
+        vocabulary: CorpusVocabulary,
+        scorer: RelativeEntropyScorer,
+        config: LSConfig,
+        data_dir: Optional[str] = None,
+        exec_checker: Optional[Callable[[str], bool]] = None,
+    ):
+        self.vocabulary = vocabulary
+        self.scorer = scorer
+        self.config = config
+        self.data_dir = data_dir
+        self.operation_groups = None
+        if config.operation_groups is not None:
+            from .grouping import group_operations
+
+            self.operation_groups = group_operations(
+                vocabulary, config.operation_groups, random_state=config.random_state
+            )
+        self._exec_checker = exec_checker
+        self._exec_cache: Dict[str, bool] = {}
+        self._statement_cache: Dict[str, Statement] = {}
+        self._archive: Dict[str, Candidate] = {}
+        self.stats = SearchStats()
+
+    #: Upper bound on archived candidates handed to constraint verification.
+    ARCHIVE_LIMIT = 64
+
+    # ------------------------------------------------------------- components
+    def _band(self, score: float) -> int:
+        """Quantize a score so near-equal candidates compare equal.
+
+        Within a band, ties break toward earlier positions/frontiers: a
+        monotone search that edits left-to-right keeps every later line
+        reachable, whereas editing the tail first locks the prefix.  This
+        matters for multi-line nonstandard snippets (e.g. target leakage,
+        Section 6.6) whose per-line deletions score almost identically.
+        """
+        if self.config.score_band <= 0:
+            return int(score * 1e12)
+        return int(round(score / self.config.score_band))
+
+    def check_if_executes(self, source: str) -> bool:
+        """CheckIfExecutes() with memoization across the whole search."""
+        if source in self._exec_cache:
+            return self._exec_cache[source]
+        start = time.perf_counter()
+        if self._exec_checker is not None:
+            ok = self._exec_checker(source)
+        else:
+            ok = check_executes(
+                source, data_dir=self.data_dir, sample_rows=self.config.sample_rows
+            )
+        self.stats.check_executes_s += time.perf_counter() - start
+        self.stats.n_exec_checks += 1
+        self._exec_cache[source] = ok
+        return ok
+
+    def _parsed_statement(self, source: str) -> Statement:
+        """Parse-once cache for add-candidate statements."""
+        if source not in self._statement_cache:
+            self._statement_cache[source] = Statement.from_source(0, source)
+        return self._statement_cache[source]
+
+    def _projected_score(
+        self, statements: Sequence[Statement], transformation: Transformation
+    ) -> float:
+        """Score a transformation via the marginal P(x) update (Sec. 5.2):
+        splice a virtual sequence view and recount edges positionally,
+        without materializing new Statement objects."""
+        virtual = list(statements)
+        if transformation.kind == DELETE:
+            if not 0 <= transformation.position < len(virtual):
+                raise IndexError(transformation.position)
+            del virtual[transformation.position]
+        else:
+            if not 0 <= transformation.position <= len(virtual):
+                raise IndexError(transformation.position)
+            virtual.insert(
+                transformation.position,
+                self._parsed_statement(transformation.statement_source),
+            )
+        return self.scorer.score_edge_counts(compute_edge_counts(virtual))
+
+    def get_steps(self, candidate: Candidate) -> List[Tuple[Transformation, float]]:
+        """GetSteps(): rank legal next transformations by projected RE."""
+        start = time.perf_counter()
+        added = {t.signature for t in candidate.applied if t.kind == ADD}
+        deleted = {t.signature for t in candidate.applied if t.kind == DELETE}
+        raw = enumerate_transformations(
+            candidate.statements,
+            self.vocabulary,
+            frontier=candidate.frontier,
+            forbidden_adds=deleted,
+            forbidden_deletes=added,
+            operation_groups=self.operation_groups,
+        )
+        ranked: List[Tuple[Transformation, float]] = []
+        for transformation in raw:
+            try:
+                score = self._projected_score(candidate.statements, transformation)
+            except (ScriptError, IndexError, ValueError):
+                continue
+            ranked.append((transformation, score))
+        ranked.sort(key=lambda pair: (self._band(pair[1]), pair[0].position, pair[1]))
+        ranked = ranked[: self.config.max_step_candidates]
+        self.stats.get_steps_s += time.perf_counter() - start
+        self.stats.n_steps_enumerated += len(ranked)
+        return ranked
+
+    def _extend(self, candidate: Candidate, transformation: Transformation,
+                score: float) -> Candidate:
+        statements = apply_transformation(candidate.statements, transformation)
+        if transformation.kind == ADD:
+            frontier = transformation.position + 1
+        elif transformation.position < candidate.frontier:
+            # a delete before the add-frontier shifts later lines down
+            frontier = candidate.frontier - 1
+        else:
+            frontier = candidate.frontier
+        return Candidate(
+            statements=tuple(statements),
+            applied=candidate.applied + (transformation,),
+            frontier=frontier,
+            score=score,
+        )
+
+    def get_top_k_beams(
+        self,
+        beams: List[Candidate],
+        candidate: Candidate,
+        ranked: Sequence[Tuple[Transformation, float]],
+        k: int,
+    ) -> List[Candidate]:
+        """Algorithm 2: extend *candidate* by each ranked transformation,
+        admitting a new script when it beats the current worst beam (or the
+        beam set is not yet full), after the optional early execution check.
+        """
+        start = time.perf_counter()
+        beams = list(beams)
+        sources = {b.source() for b in beams}
+        admitted = 0
+        for transformation, score in ranked:
+            if admitted >= k:
+                break
+            worst = max(b.score for b in beams) if beams else float("inf")
+            if not (
+                self._band(score) <= self._band(worst)
+                or len(beams) <= self.config.beam_size
+            ):
+                continue
+            extended = self._extend(candidate, transformation, score)
+            source = extended.source()
+            if source in sources:
+                continue
+            if self.config.early_check:
+                # pause the top-k clock while the sandbox runs
+                self.stats.get_top_k_s += time.perf_counter() - start
+                valid = self.check_if_executes(source)
+                start = time.perf_counter()
+                if not valid:
+                    continue
+            beams.append(extended)
+            sources.add(source)
+            self._archive.setdefault(source, extended)
+            admitted += 1
+            if len(beams) > self.config.beam_size:
+                beams.sort(key=self._beam_key)
+                dropped = beams.pop()
+                sources.discard(dropped.source())
+        self.stats.get_top_k_s += time.perf_counter() - start
+        return beams
+
+    def _beam_key(self, candidate: Candidate):
+        """Eviction/order key: banded score, then the lower frontier wins."""
+        return (self._band(candidate.score), candidate.frontier, candidate.score)
+
+    def get_diverse_top_k_beams(
+        self,
+        beams: List[Candidate],
+        candidate: Candidate,
+        ranked: Sequence[Tuple[Transformation, float]],
+    ) -> List[Candidate]:
+        """Algorithm 3: iterate clusters, drawing K/M beams from each."""
+        transformations = [t for t, _ in ranked]
+        score_by_transformation = {t: s for t, s in ranked}
+        clusters = cluster_transformations(
+            transformations, self.config.clusters, random_state=self.config.random_state
+        )
+        per_cluster = max(1, self.config.beam_size // max(len(clusters), 1))
+        for cluster in clusters:
+            cluster_ranked = [(t, score_by_transformation[t]) for t in cluster]
+            beams = self.get_top_k_beams(beams, candidate, cluster_ranked, per_cluster)
+        return beams
+
+    # ----------------------------------------------------------------- search
+    def search(self, statements: Sequence[Statement]) -> List[Candidate]:
+        """Run the beam search and return candidates sorted by RE score.
+
+        Besides the final beams, the result includes an *archive* of every
+        candidate admitted to a beam at any iteration (capped at
+        ``ARCHIVE_LIMIT`` best by score).  Constraint verification walks
+        this list in score order, so when the most standard candidates
+        violate a strict user-intent threshold, milder intermediate
+        candidates are still available instead of falling straight back to
+        the original.  The unmodified script is always a member.
+        """
+        initial = Candidate(
+            statements=tuple(statements),
+            applied=(),
+            frontier=0,
+            score=self.scorer.score_statements(list(statements)),
+        )
+        self._archive = {initial.source(): initial}
+        beams = [initial]
+        for _ in range(self.config.seq):
+            self.stats.n_iterations += 1
+            frontier_beams = list(beams)
+            for candidate in beams:
+                ranked = self.get_steps(candidate)
+                if not ranked:
+                    continue
+                if self.config.diversity:
+                    frontier_beams = self.get_diverse_top_k_beams(
+                        frontier_beams, candidate, ranked
+                    )
+                else:
+                    frontier_beams = self.get_top_k_beams(
+                        frontier_beams, candidate, ranked, self.config.beam_size
+                    )
+            frontier_beams.sort(key=self._beam_key)
+            frontier_beams = frontier_beams[: max(self.config.beam_size, 1)]
+            if [b.source() for b in frontier_beams] == [b.source() for b in beams]:
+                break  # converged: no transformation improved any beam
+            beams = frontier_beams
+
+        candidates = sorted(self._archive.values(), key=lambda b: b.score)
+        candidates = candidates[: self.ARCHIVE_LIMIT]
+        if all(c.source() != initial.source() for c in candidates):
+            candidates.append(initial)  # the guaranteed fallback
+        return candidates

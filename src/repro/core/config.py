@@ -1,0 +1,98 @@
+"""Search-framework configuration and the paper's Table 2 defaults."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["LSConfig", "recommend_parameters"]
+
+#: Table 2 thresholds: a corpus is "large" above 10 scripts and "diverse"
+#: above 300 unique edges.
+LARGE_CORPUS_SCRIPTS = 10
+DIVERSE_CORPUS_EDGES = 300
+
+
+@dataclass
+class LSConfig:
+    """Tunable parameters of the LucidScript search (Section 5.2).
+
+    Attributes
+    ----------
+    seq:
+        Maximum transformation-sequence length (the stopping criterion).
+    beam_size:
+        K — number of in-progress candidate scripts retained.
+    diversity:
+        Cluster candidate transformations (Algorithm 3) so beams explore
+        different parts of the search space.
+    diversity_clusters:
+        M — number of k-means clusters; defaults to ``beam_size``.
+    early_check:
+        α — verify the execution constraint after every transformation
+        (True) or only once sequences are complete (False).
+    max_step_candidates:
+        Cap on ranked next-step transformations returned by GetSteps().
+    score_band:
+        RE scores within this tolerance compare equal during ranking and
+        beam eviction; ties break toward earlier script positions (lower
+        frontiers), which preserves the monotone search's future options.
+    sample_rows:
+        Row cap applied when loading D_IN inside constraint checks; None
+        disables sampling.
+    operation_groups:
+        When set, cluster the corpus's 1-gram atoms into this many
+        semantic operation families and only propose each family's most
+        frequent representative for 1-gram adds (the Section 6.5
+        search-space reduction); None disables grouping.
+    random_state:
+        Seed for the diversity clustering and any sampling decisions.
+    """
+
+    seq: int = 16
+    beam_size: int = 3
+    diversity: bool = True
+    diversity_clusters: Optional[int] = None
+    early_check: bool = True
+    max_step_candidates: int = 48
+    score_band: float = 0.02
+    sample_rows: Optional[int] = 500
+    operation_groups: Optional[int] = None
+    random_state: int = 0
+
+    def __post_init__(self):
+        if self.seq < 1:
+            raise ValueError(f"seq must be >= 1, got {self.seq}")
+        if self.beam_size < 1:
+            raise ValueError(f"beam_size must be >= 1, got {self.beam_size}")
+        if self.diversity_clusters is not None and self.diversity_clusters < 1:
+            raise ValueError("diversity_clusters must be >= 1 when set")
+        if self.max_step_candidates < 1:
+            raise ValueError("max_step_candidates must be >= 1")
+        if self.score_band < 0:
+            raise ValueError("score_band must be non-negative")
+        if self.operation_groups is not None and self.operation_groups < 1:
+            raise ValueError("operation_groups must be >= 1 when set")
+
+    @property
+    def clusters(self) -> int:
+        return self.diversity_clusters or self.beam_size
+
+
+def recommend_parameters(n_scripts: int, uniq_edges: int) -> LSConfig:
+    """Reproduce Table 2: default (seq, K) from corpus size and diversity.
+
+    ============  ==================  ====  ===
+    corpus size   edge diversity      seq   K
+    ============  ==================  ====  ===
+    > 10 scripts  > 300 uniq. edges    16    3
+    > 10 scripts  ≤ 300 uniq. edges    16    1
+    ≤ 10 scripts  > 300 uniq. edges     8    3
+    ≤ 10 scripts  ≤ 300 uniq. edges     8    1
+    ============  ==================  ====  ===
+    """
+    if n_scripts < 0 or uniq_edges < 0:
+        raise ValueError("corpus statistics must be non-negative")
+    seq = 16 if n_scripts > LARGE_CORPUS_SCRIPTS else 8
+    beam = 3 if uniq_edges > DIVERSE_CORPUS_EDGES else 1
+    return LSConfig(seq=seq, beam_size=beam)

@@ -1,0 +1,101 @@
+"""Transformation diversity via k-means clustering (Algorithm 3).
+
+Top-ranked transformations tend to target the same atom, so plain beam
+search explores a narrow slice of the space.  ClusterSteps() groups the
+ranked transformations into M clusters over a hashed bag-of-tokens
+embedding of each transformation, and the search then draws beams from
+every cluster.
+
+scikit-learn is unavailable offline, so the k-means here is a small,
+deterministic (seeded) Lloyd's-algorithm implementation.
+"""
+
+from __future__ import annotations
+
+import re
+import zlib
+from typing import List, Sequence
+
+import numpy as np
+
+from .transformations import Transformation
+
+__all__ = ["kmeans", "transformation_features", "cluster_transformations"]
+
+_TOKEN_RE = re.compile(r"[A-Za-z_]+|[<>=!+\-*/%&|^~]+")
+
+
+def transformation_features(
+    transformations: Sequence[Transformation], dim: int = 32
+) -> np.ndarray:
+    """Hashed bag-of-tokens embedding of each transformation.
+
+    Tokens come from the atom signature plus the transformation kind, so
+    e.g. every ``fillna`` add lands near every other ``fillna`` variant.
+    """
+    if dim < 2:
+        raise ValueError(f"dim must be >= 2, got {dim}")
+    X = np.zeros((len(transformations), dim))
+    for row, t in enumerate(transformations):
+        tokens = _TOKEN_RE.findall(t.signature) + [t.kind, t.gram]
+        for token in tokens:
+            # zlib.crc32 is stable across processes (Python's hash() is not)
+            X[row, zlib.crc32(token.encode()) % dim] += 1.0
+    norms = np.linalg.norm(X, axis=1, keepdims=True)
+    norms[norms == 0] = 1.0
+    return X / norms
+
+
+def kmeans(
+    X: np.ndarray, k: int, random_state: int = 0, n_iter: int = 25
+) -> np.ndarray:
+    """Deterministic Lloyd's k-means; returns a label per row."""
+    n = X.shape[0]
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if n == 0:
+        return np.zeros(0, dtype=int)
+    k = min(k, n)
+    rng = np.random.default_rng(random_state)
+    centers = X[rng.choice(n, size=k, replace=False)].copy()
+    labels = np.zeros(n, dtype=int)
+    for _ in range(n_iter):
+        distances = ((X[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        new_labels = distances.argmin(axis=1)
+        if np.array_equal(new_labels, labels) and _ > 0:
+            break
+        labels = new_labels
+        for c in range(k):
+            members = X[labels == c]
+            if len(members):
+                centers[c] = members.mean(axis=0)
+    return labels
+
+
+def cluster_transformations(
+    ranked: Sequence[Transformation],
+    n_clusters: int,
+    random_state: int = 0,
+) -> List[List[Transformation]]:
+    """ClusterSteps(): split a ranked transformation list into M clusters.
+
+    Within each cluster the input ranking (by RE score) is preserved, and
+    clusters are ordered by their best-ranked member so the most promising
+    cluster is explored first.
+    """
+    if not ranked:
+        return []
+    if n_clusters <= 1 or len(ranked) <= n_clusters:
+        return [list(ranked)]
+    X = transformation_features(ranked)
+    labels = kmeans(X, n_clusters, random_state=random_state)
+    clusters: dict[int, List[Transformation]] = {}
+    for t, label in zip(ranked, labels):
+        clusters.setdefault(int(label), []).append(t)
+    # order clusters by the global rank of their best member
+    first_rank = {
+        label: min(ranked.index(t) for t in members)
+        for label, members in clusters.items()
+    }
+    ordered = sorted(clusters.items(), key=lambda kv: first_rank[kv[0]])
+    return [members for _, members in ordered]

@@ -1,0 +1,160 @@
+"""User-intent measures (Section 2.1): Table Jaccard and Model Performance.
+
+Both compare the dataset emitted by the user's script, ``D_OUT(s_u)``, with
+the dataset emitted by a candidate, ``D_OUT(ŝ_u)``.  Each measure exposes
+``delta`` (the raw dissimilarity) and ``satisfied`` (the constraint check
+against the user's threshold τ).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Set, Tuple
+
+from ..minipandas import DataFrame, is_missing
+from ..ml import DownstreamEvaluationError, evaluate_downstream
+
+__all__ = [
+    "IntentMeasure",
+    "TableJaccardIntent",
+    "ModelPerformanceIntent",
+    "table_jaccard",
+    "model_performance_delta",
+]
+
+
+def _cell_set(frame: DataFrame, mode: str) -> Set:
+    if mode == "values":
+        return {
+            "__NA__" if is_missing(v) else v
+            for col in frame.columns
+            for v in frame[col]
+        }
+    if mode == "cells":
+        return {
+            (col, "__NA__" if is_missing(v) else v)
+            for col in frame.columns
+            for v in frame[col]
+        }
+    if mode == "rows":
+        return {
+            tuple(
+                "__NA__" if is_missing(frame[col].iloc[pos]) else frame[col].iloc[pos]
+                for col in frame.columns
+            )
+            for pos in range(len(frame))
+        }
+    raise ValueError(f"unknown table-jaccard mode: {mode!r}")
+
+
+def table_jaccard(a: DataFrame, b: DataFrame, mode: str = "cells") -> float:
+    """Jaccard similarity of two tables' distinct content.
+
+    ``mode='values'`` replicates the paper's Example 2.1 (distinct cell
+    values); ``'cells'`` (default) compares distinct (column, value) pairs,
+    which also notices column renames; ``'rows'`` compares distinct rows.
+    Returns 1.0 when both tables are empty.
+    """
+    sa, sb = _cell_set(a, mode), _cell_set(b, mode)
+    union = sa | sb
+    if not union:
+        return 1.0
+    return len(sa & sb) / len(union)
+
+
+def model_performance_delta(
+    acc_original: float, acc_candidate: float
+) -> float:
+    """|relative % change| in downstream accuracy (Section 2.1, Δ_M)."""
+    if acc_original == 0:
+        return 0.0 if acc_candidate == 0 else 100.0
+    return abs(acc_original - acc_candidate) / acc_original * 100.0
+
+
+class IntentMeasure(ABC):
+    """Interface every user-intent measure implements."""
+
+    #: human-readable identifier used in reports
+    name: str = "intent"
+
+    @abstractmethod
+    def delta(self, original: DataFrame, candidate: DataFrame) -> float:
+        """Raw dissimilarity between the two script outputs."""
+
+    @abstractmethod
+    def satisfied(self, delta: float) -> bool:
+        """Does *delta* respect the user's threshold τ?"""
+
+    def check(self, original: DataFrame, candidate: DataFrame) -> Tuple[float, bool]:
+        d = self.delta(original, candidate)
+        return d, self.satisfied(d)
+
+
+class TableJaccardIntent(IntentMeasure):
+    """Δ_J: candidate output must stay Jaccard-similar to the original.
+
+    ``delta`` is the Jaccard *similarity* (1.0 = identical); the constraint
+    is satisfied when similarity ≥ τ_J (paper default 0.9).  The default
+    ``mode='values'`` matches the paper's Example 2.1 (distinct cell
+    values); pass ``'cells'`` or ``'rows'`` for stricter comparisons.
+    """
+
+    name = "table_jaccard"
+
+    def __init__(self, tau: float = 0.9, mode: str = "values"):
+        if not 0.0 <= tau <= 1.0:
+            raise ValueError(f"tau_J must be in [0, 1], got {tau}")
+        self.tau = tau
+        self.mode = mode
+
+    def delta(self, original: DataFrame, candidate: DataFrame) -> float:
+        return table_jaccard(original, candidate, mode=self.mode)
+
+    def satisfied(self, delta: float) -> bool:
+        return delta >= self.tau
+
+
+class ModelPerformanceIntent(IntentMeasure):
+    """Δ_M: downstream model accuracy may shift at most τ_M percent.
+
+    A candidate whose output can no longer support the downstream task at
+    all (e.g. it dropped the target column) fails the constraint outright.
+    """
+
+    name = "model_performance"
+
+    def __init__(
+        self,
+        target: str,
+        tau: float = 1.0,
+        task: Optional[str] = None,
+        model: str = "logistic",
+        random_state: int = 0,
+    ):
+        if tau < 0:
+            raise ValueError(f"tau_M must be non-negative, got {tau}")
+        self.target = target
+        self.tau = tau
+        self.task = task
+        self.model = model
+        self.random_state = random_state
+
+    def accuracy(self, frame: DataFrame) -> float:
+        return evaluate_downstream(
+            frame,
+            self.target,
+            task=self.task,
+            model=self.model,
+            random_state=self.random_state,
+        ).accuracy
+
+    def delta(self, original: DataFrame, candidate: DataFrame) -> float:
+        acc_orig = self.accuracy(original)
+        try:
+            acc_cand = self.accuracy(candidate)
+        except DownstreamEvaluationError:
+            return 100.0
+        return model_performance_delta(acc_orig, acc_cand)
+
+    def satisfied(self, delta: float) -> bool:
+        return delta <= self.tau

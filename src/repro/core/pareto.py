@@ -1,0 +1,103 @@
+"""Intent-threshold exploration (the paper's Section 8 extension).
+
+"A possible extension to this work is an algorithm that optimizes
+configurations, such as exploring user intent thresholds and returning
+the Pareto curve."  This module sweeps τ and reports, per threshold, the
+standardness improvement and the intent similarity actually achieved —
+then extracts the Pareto-efficient frontier over (intent preservation,
+improvement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from .config import LSConfig
+from .intent import ModelPerformanceIntent, TableJaccardIntent
+from .standardizer import LucidScript, StandardizationError
+
+__all__ = ["TradeoffPoint", "explore_intent_thresholds", "pareto_frontier"]
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One (threshold, improvement, achieved-intent) observation."""
+
+    tau: float
+    improvement: float
+    intent_delta: Optional[float]
+    output_script: str
+
+    def preservation(self) -> float:
+        """Intent preservation in [0, 1] (1 = output identical in intent).
+
+        Table-Jaccard deltas are already similarities; model-performance
+        deltas are percent changes, mapped via 1 - delta/100.
+        """
+        if self.intent_delta is None:
+            return 1.0
+        if self.intent_delta <= 1.0:
+            return float(self.intent_delta)
+        return max(0.0, 1.0 - self.intent_delta / 100.0)
+
+
+def explore_intent_thresholds(
+    corpus: Sequence[str],
+    script: str,
+    taus: Sequence[float],
+    intent_kind: str = "jaccard",
+    target: Optional[str] = None,
+    data_dir: Optional[str] = None,
+    config: Optional[LSConfig] = None,
+    task: Optional[str] = None,
+) -> List[TradeoffPoint]:
+    """Standardize *script* once per threshold in *taus*.
+
+    Parameters mirror :class:`LucidScript`; ``intent_kind`` selects τ_J
+    ('jaccard') or τ_M ('model', which requires *target*).
+    """
+    if intent_kind == "model" and target is None:
+        raise ValueError("intent_kind='model' requires a target column")
+    points: List[TradeoffPoint] = []
+    for tau in taus:
+        if intent_kind == "jaccard":
+            intent = TableJaccardIntent(tau=tau)
+        elif intent_kind == "model":
+            intent = ModelPerformanceIntent(target=target, tau=tau, task=task)
+        else:
+            raise ValueError(f"unknown intent kind: {intent_kind!r}")
+        system = LucidScript(
+            corpus, data_dir=data_dir, intent=intent, config=config
+        )
+        try:
+            result = system.standardize(script)
+        except StandardizationError:
+            continue
+        points.append(
+            TradeoffPoint(
+                tau=float(tau),
+                improvement=result.improvement,
+                intent_delta=result.intent_delta,
+                output_script=result.output_script,
+            )
+        )
+    return points
+
+
+def pareto_frontier(points: Sequence[TradeoffPoint]) -> List[TradeoffPoint]:
+    """The Pareto-efficient subset over (preservation, improvement).
+
+    A point is kept when no other point has both strictly higher intent
+    preservation and strictly higher improvement.  Result is ordered by
+    decreasing preservation (the "safe" end first).
+    """
+    kept = [
+        p
+        for p in points
+        if not any(
+            q.preservation() > p.preservation() and q.improvement > p.improvement
+            for q in points
+        )
+    ]
+    return sorted(kept, key=lambda p: (-p.preservation(), -p.improvement))

@@ -1,0 +1,214 @@
+"""LucidScript — the end-to-end script standardizer (the paper's system).
+
+Offline phase: lemmatize the corpus and curate the search space
+(vocabularies + corpus distribution).  Online phase: beam-search
+transformation sequences for an input script, verify the execution and
+user-intent constraints, and return the most standard surviving script.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..lang import CorpusVocabulary, ScriptError, lemmatize, parse_script
+from ..minipandas import DataFrame
+from ..sandbox import run_script
+from .beam import BeamSearch, Candidate, SearchStats
+from .config import LSConfig
+from .entropy import RelativeEntropyScorer, percent_improvement
+from .intent import IntentMeasure
+from .transformations import Transformation
+
+__all__ = ["LucidScript", "StandardizationResult", "StandardizationError"]
+
+
+class StandardizationError(ScriptError):
+    """The input script cannot be standardized (e.g. it does not execute)."""
+
+
+@dataclass
+class StandardizationResult:
+    """Outcome of one standardization run."""
+
+    input_script: str
+    output_script: str
+    re_before: float
+    re_after: float
+    transformations: Tuple[Transformation, ...]
+    intent_delta: Optional[float]
+    intent_satisfied: bool
+    stats: SearchStats
+
+    @property
+    def improvement(self) -> float:
+        """% improvement in relative entropy (the paper's Table 5 metric)."""
+        return percent_improvement(self.re_before, self.re_after)
+
+    @property
+    def changed(self) -> bool:
+        return self.output_script != self.input_script
+
+    def removed_statements(self) -> List[str]:
+        """Lemmatized statements present in the input but not the output."""
+        before = Counter(self.input_script.splitlines())
+        after = Counter(self.output_script.splitlines())
+        removed: List[str] = []
+        for line, count in (before - after).items():
+            removed.extend([line] * count)
+        return removed
+
+    def added_statements(self) -> List[str]:
+        """Lemmatized statements present in the output but not the input."""
+        before = Counter(self.input_script.splitlines())
+        after = Counter(self.output_script.splitlines())
+        added: List[str] = []
+        for line, count in (after - before).items():
+            added.extend([line] * count)
+        return added
+
+    def summary(self) -> str:
+        lines = [
+            f"RE: {self.re_before:.3f} -> {self.re_after:.3f} "
+            f"({self.improvement:+.1f}% improvement)",
+        ]
+        if self.intent_delta is not None:
+            lines.append(f"intent delta: {self.intent_delta:.3f}")
+        for t in self.transformations:
+            lines.append(f"  {t.describe()}")
+        return "\n".join(lines)
+
+
+class LucidScript:
+    """Bottom-up script standardization against a corpus of peer scripts.
+
+    Parameters
+    ----------
+    corpus:
+        Peer data-preparation scripts (raw source texts) that process the
+        same (or a similar) dataset.
+    data_dir:
+        Directory holding the dataset's CSV files; scripts' ``read_csv``
+        paths are resolved against it.
+    intent:
+        A user-intent measure (:class:`TableJaccardIntent` or
+        :class:`ModelPerformanceIntent`); None disables the intent
+        constraint (execution constraint still applies).
+    config:
+        Search parameters; see :class:`LSConfig` and Table 2 defaults.
+    """
+
+    def __init__(
+        self,
+        corpus: Sequence[str],
+        data_dir: Optional[str] = None,
+        intent: Optional[IntentMeasure] = None,
+        config: Optional[LSConfig] = None,
+    ):
+        # Offline phase (Section 5.1): curate the search space once.
+        self.vocabulary = CorpusVocabulary.from_scripts(corpus)
+        self.scorer = RelativeEntropyScorer(self.vocabulary)
+        self.data_dir = data_dir
+        self.intent = intent
+        self.config = config or LSConfig()
+
+    # ------------------------------------------------------------------ scoring
+    def score(self, script: str) -> float:
+        """RE(s, S) of an arbitrary script against this corpus."""
+        return self.scorer.score_dag(parse_script(script))
+
+    # ------------------------------------------------------------- online phase
+    def standardize(self, script: str) -> StandardizationResult:
+        """Produce a standardized version of *script* (Definition 4.5)."""
+        normalized = lemmatize(script)
+        dag = parse_script(normalized, lemmatized=True)
+        if not dag.statements:
+            raise StandardizationError("input script has no statements")
+        re_before = self.scorer.score_dag(dag)
+
+        original_output = self._run(normalized)
+        if original_output is None:
+            raise StandardizationError(
+                "input script must execute and emit a table before it can be standardized"
+            )
+
+        search = BeamSearch(
+            self.vocabulary,
+            self.scorer,
+            self.config,
+            data_dir=self.data_dir,
+        )
+        candidates = search.search(dag.statements)
+        best = self._verify_all_constraints(
+            candidates, normalized, original_output, search.stats
+        )
+        intent_delta, intent_ok = self._final_intent(best, normalized, original_output)
+        return StandardizationResult(
+            input_script=normalized,
+            output_script=best.source(),
+            re_before=re_before,
+            re_after=best.score,
+            transformations=best.applied,
+            intent_delta=intent_delta,
+            intent_satisfied=intent_ok,
+            stats=search.stats,
+        )
+
+    # ----------------------------------------------------------------- helpers
+    def _run(self, source: str) -> Optional[DataFrame]:
+        result = run_script(
+            source, data_dir=self.data_dir, sample_rows=self.config.sample_rows
+        )
+        return result.output if result.ok else None
+
+    def _verify_all_constraints(
+        self,
+        candidates: List[Candidate],
+        original_source: str,
+        original_output: DataFrame,
+        stats: SearchStats,
+    ) -> Candidate:
+        """VerifyAllConstraints(): return the most standard valid candidate.
+
+        Candidates arrive sorted by RE score; the original script is always
+        among them and trivially satisfies every constraint, so the search
+        can never make the script less standard (Table 5: min = 0.0).
+        """
+        start = time.perf_counter()
+        try:
+            for candidate in candidates:
+                source = candidate.source()
+                if source == original_source:
+                    return candidate
+                output = self._run(source)
+                if output is None:
+                    continue
+                if self.intent is not None:
+                    _, ok = self.intent.check(original_output, output)
+                    if not ok:
+                        continue
+                return candidate
+            raise StandardizationError(
+                "no candidate (not even the original) survived verification"
+            )
+        finally:
+            stats.verify_constraints_s += time.perf_counter() - start
+
+    def _final_intent(
+        self,
+        best: Candidate,
+        original_source: str,
+        original_output: DataFrame,
+    ) -> Tuple[Optional[float], bool]:
+        if self.intent is None:
+            return None, True
+        if best.source() == original_source:
+            # identical script: Jaccard similarity 1 / accuracy delta 0
+            identity = 1.0 if self.intent.name == "table_jaccard" else 0.0
+            return identity, True
+        output = self._run(best.source())
+        if output is None:  # pragma: no cover - verified above
+            return None, False
+        return self.intent.check(original_output, output)

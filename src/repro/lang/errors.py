@@ -1,0 +1,15 @@
+"""Exception hierarchy for the script-representation layer."""
+
+__all__ = ["ScriptError", "ScriptParseError", "UnsupportedScriptError"]
+
+
+class ScriptError(Exception):
+    """Base class for script-representation failures."""
+
+
+class ScriptParseError(ScriptError):
+    """The script is not valid Python."""
+
+
+class UnsupportedScriptError(ScriptError):
+    """The script uses constructs outside the supported straight-line class."""

@@ -1,0 +1,352 @@
+"""Script → DAG parsing (Section 3).
+
+A lemmatized script is decomposed into :class:`Statement` records, each
+carrying its n-gram atom (the statement text), its 1-gram atoms (operation
+invocations), intra-statement data-flow edges between nested invocations,
+and the variables it reads/writes.  The :class:`ScriptDAG` then derives
+inter-statement edges from the def-use chain over those variables.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from .atoms import NGRAM, ONEGRAM, Atom, Edge
+from .errors import ScriptParseError, UnsupportedScriptError
+from .lemmatize import lemmatize
+
+__all__ = [
+    "Statement",
+    "ScriptDAG",
+    "parse_script",
+    "extract_onegrams",
+    "compute_edge_counts",
+]
+
+#: AST node classes treated as invocation nodes (Definition 3.1).
+_INVOCATION_TYPES = (ast.Call, ast.Subscript, ast.BinOp, ast.Compare, ast.BoolOp, ast.UnaryOp)
+
+_OP_SYMBOLS = {
+    ast.Add: "+", ast.Sub: "-", ast.Mult: "*", ast.Div: "/", ast.FloorDiv: "//",
+    ast.Mod: "%", ast.Pow: "**", ast.Eq: "==", ast.NotEq: "!=", ast.Lt: "<",
+    ast.LtE: "<=", ast.Gt: ">", ast.GtE: ">=", ast.In: "in", ast.NotIn: "not in",
+    ast.And: "and", ast.Or: "or", ast.Not: "not", ast.USub: "neg", ast.UAdd: "pos",
+    ast.Invert: "~", ast.BitAnd: "&", ast.BitOr: "|", ast.BitXor: "^",
+    ast.Is: "is", ast.IsNot: "is not",
+}
+
+
+def _data_token(node: ast.AST) -> str:
+    """Canonical token for a data node (name/constant/attribute chain)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Constant):
+        return repr(node.value)
+    if isinstance(node, ast.Attribute):
+        return f"{_data_token(node.value)}.{node.attr}"
+    if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+        inner = ",".join(_data_token(e) for e in node.elts)
+        return f"[{inner}]"
+    if isinstance(node, ast.Dict):
+        return "{...}"
+    if isinstance(node, ast.Slice):
+        parts = [
+            _data_token(p) if p is not None else ""
+            for p in (node.lower, node.upper, node.step)
+        ]
+        return ":".join(parts)
+    if isinstance(node, ast.Starred):
+        return f"*{_data_token(node.value)}"
+    if isinstance(node, _INVOCATION_TYPES):
+        return "@"  # nested invocation placeholder
+    return type(node).__name__
+
+
+def _invocation_name(node: ast.AST) -> str:
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            return func.attr
+        if isinstance(func, ast.Name):
+            return func.id
+        return "call"
+    if isinstance(node, ast.Subscript):
+        return "subscript"
+    if isinstance(node, ast.BinOp):
+        return _OP_SYMBOLS.get(type(node.op), "binop")
+    if isinstance(node, ast.Compare):
+        return _OP_SYMBOLS.get(type(node.ops[0]), "cmp") if node.ops else "cmp"
+    if isinstance(node, ast.BoolOp):
+        return _OP_SYMBOLS.get(type(node.op), "boolop")
+    if isinstance(node, ast.UnaryOp):
+        return _OP_SYMBOLS.get(type(node.op), "unaryop")
+    raise TypeError(f"not an invocation node: {type(node).__name__}")
+
+
+def _invocation_children(node: ast.AST) -> List[ast.AST]:
+    """Direct operand nodes of an invocation, in evaluation order."""
+    if isinstance(node, ast.Call):
+        children: List[ast.AST] = []
+        if isinstance(node.func, ast.Attribute):
+            children.append(node.func.value)
+        children.extend(node.args)
+        children.extend(kw.value for kw in node.keywords)
+        return children
+    if isinstance(node, ast.Subscript):
+        return [node.value, node.slice]
+    if isinstance(node, ast.BinOp):
+        return [node.left, node.right]
+    if isinstance(node, ast.Compare):
+        return [node.left, *node.comparators]
+    if isinstance(node, ast.BoolOp):
+        return list(node.values)
+    if isinstance(node, ast.UnaryOp):
+        return [node.operand]
+    return []
+
+
+def _signature(node: ast.AST) -> str:
+    args = ",".join(_data_token(c) for c in _invocation_children(node))
+    return f"{_invocation_name(node)}({args})"
+
+
+def extract_onegrams(stmt: ast.stmt) -> Tuple[List[Atom], List[Edge]]:
+    """Collect 1-gram atoms and intra-statement edges from one statement.
+
+    Edges run from each nested invocation to the invocation that consumes
+    its result (data flows child → parent).
+    """
+    atoms: List[Atom] = []
+    edges: List[Edge] = []
+
+    def visit(node: ast.AST, parent_sig: Optional[str]) -> None:
+        if isinstance(node, _INVOCATION_TYPES):
+            sig = _signature(node)
+            atoms.append(Atom(ONEGRAM, sig))
+            if parent_sig is not None:
+                edges.append(Edge(sig, parent_sig))
+            for child in _invocation_children(node):
+                visit(child, sig)
+            # also walk attribute receivers inside func chains (df.a.b())
+            return
+        for child in ast.iter_child_nodes(node):
+            visit(child, parent_sig)
+
+    visit(stmt, None)
+    return atoms, edges
+
+
+def _variables(stmt: ast.stmt) -> Tuple[Set[str], Set[str]]:
+    """Return (reads, writes) of top-level variable names for a statement."""
+    reads: Set[str] = set()
+    writes: Set[str] = set()
+    if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+        for alias in stmt.names:
+            writes.add(alias.asname or alias.name.split(".")[0])
+        return reads, writes
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.Name):
+            if isinstance(node.ctx, ast.Store):
+                writes.add(node.id)
+            else:
+                reads.add(node.id)
+        elif isinstance(node, ast.Subscript) and isinstance(node.ctx, ast.Store):
+            # df.loc[...] = v / df['x'] = v mutates the base frame
+            base = node.value
+            while isinstance(base, (ast.Attribute, ast.Subscript)):
+                base = base.value
+            if isinstance(base, ast.Name):
+                writes.add(base.id)
+                reads.add(base.id)
+    return reads, writes
+
+
+@dataclass
+class Statement:
+    """One straight-line statement with its atoms and def-use sets."""
+
+    index: int
+    source: str
+    ngram: Atom
+    onegrams: List[Atom]
+    intra_edges: List[Edge]
+    reads: Set[str]
+    writes: Set[str]
+    is_import: bool
+    is_read_csv: bool
+
+    @classmethod
+    def from_ast(cls, index: int, node: ast.stmt) -> "Statement":
+        source = ast.unparse(node)
+        onegrams, intra_edges = extract_onegrams(node)
+        reads, writes = _variables(node)
+        is_import = isinstance(node, (ast.Import, ast.ImportFrom))
+        is_read_csv = any("read_csv" in a.signature for a in onegrams)
+        return cls(
+            index=index,
+            source=source,
+            ngram=Atom(NGRAM, source),
+            onegrams=onegrams,
+            intra_edges=intra_edges,
+            reads=reads,
+            writes=writes,
+            is_import=is_import,
+            is_read_csv=is_read_csv,
+        )
+
+    @classmethod
+    def from_source(cls, index: int, source: str) -> "Statement":
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            raise ScriptParseError(f"invalid statement {source!r}: {exc}") from exc
+        if len(tree.body) != 1:
+            raise ScriptParseError(
+                f"expected a single statement, got {len(tree.body)}: {source!r}"
+            )
+        return cls.from_ast(index, tree.body[0])
+
+    @property
+    def protected(self) -> bool:
+        """Imports and data loads are never deleted by transformations."""
+        return self.is_import or self.is_read_csv
+
+
+class ScriptDAG:
+    """The DAG representation G_s = (A, E') of a lemmatized script."""
+
+    def __init__(self, statements: List[Statement]):
+        self.statements = statements
+
+    # ------------------------------------------------------------------ source
+    def source(self) -> str:
+        return "\n".join(s.source for s in self.statements)
+
+    def __len__(self) -> int:
+        return len(self.statements)
+
+    # ------------------------------------------------------------------- edges
+    def inter_edges(self) -> List[Edge]:
+        """Def-use chain edges between statements (n-gram level)."""
+        edges: List[Edge] = []
+        last_writer: Dict[str, Statement] = {}
+        for stmt in self.statements:
+            linked: Set[int] = set()
+            for var in sorted(stmt.reads):
+                writer = last_writer.get(var)
+                if writer is not None and writer.index != stmt.index:
+                    if writer.index not in linked:
+                        edges.append(Edge(writer.ngram.signature, stmt.ngram.signature))
+                        linked.add(writer.index)
+            for var in stmt.writes:
+                last_writer[var] = stmt
+        return edges
+
+    def intra_edges(self) -> List[Edge]:
+        out: List[Edge] = []
+        for stmt in self.statements:
+            out.extend(stmt.intra_edges)
+        return out
+
+    def edges(self) -> List[Edge]:
+        """All data-flow edges E' (intra- and inter-statement)."""
+        return self.intra_edges() + self.inter_edges()
+
+    def edge_counter(self) -> Counter:
+        return Counter(e.as_tuple() for e in self.edges())
+
+    # ------------------------------------------------------------------- atoms
+    def onegram_counter(self) -> Counter:
+        return Counter(a.signature for s in self.statements for a in s.onegrams)
+
+    def ngram_counter(self) -> Counter:
+        return Counter(s.ngram.signature for s in self.statements)
+
+    # ------------------------------------------------------------------ export
+    def to_dot(self) -> str:
+        """Render the statement-level DAG in Graphviz dot format (Figure 2)."""
+        lines = ["digraph script {", "  rankdir=TB;", "  node [shape=box];"]
+        for stmt in self.statements:
+            label = stmt.source.replace('"', '\\"')
+            lines.append(f'  s{stmt.index} [label="{label}"];')
+        seen = set()
+        sig_to_index = {}
+        for stmt in self.statements:
+            sig_to_index.setdefault(stmt.ngram.signature, stmt.index)
+        last_writer: Dict[str, int] = {}
+        for stmt in self.statements:
+            for var in sorted(stmt.reads):
+                writer = last_writer.get(var)
+                if writer is not None and writer != stmt.index:
+                    key = (writer, stmt.index)
+                    if key not in seen:
+                        lines.append(f"  s{writer} -> s{stmt.index};")
+                        seen.add(key)
+            for var in stmt.writes:
+                last_writer[var] = stmt.index
+        lines.append("}")
+        return "\n".join(lines)
+
+    def to_networkx(self):
+        """Statement-level DAG as a networkx DiGraph (for analysis tooling)."""
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        for stmt in self.statements:
+            graph.add_node(stmt.index, source=stmt.source)
+        last_writer: Dict[str, int] = {}
+        for stmt in self.statements:
+            for var in sorted(stmt.reads):
+                writer = last_writer.get(var)
+                if writer is not None and writer != stmt.index:
+                    graph.add_edge(writer, stmt.index, var=var)
+            for var in stmt.writes:
+                last_writer[var] = stmt.index
+        return graph
+
+
+def compute_edge_counts(statements) -> Counter:
+    """Edge multiset of a statement sequence, by *position* (not index).
+
+    Equivalent to ``ScriptDAG(statements).edge_counter()`` for a properly
+    renumbered list, but works on any sequence view — e.g. a candidate
+    with one statement virtually inserted or removed — without
+    constructing new Statement objects.  This is what makes the paper's
+    "marginally update P(x) instead of performing the transformation"
+    scoring path cheap (Section 5.2).
+    """
+    counts: Counter = Counter()
+    last_writer: Dict[str, Tuple[int, str]] = {}
+    for position, stmt in enumerate(statements):
+        for edge in stmt.intra_edges:
+            counts[edge.as_tuple()] += 1
+        linked: Set[int] = set()
+        for var in sorted(stmt.reads):
+            writer = last_writer.get(var)
+            if writer is not None and writer[0] != position:
+                if writer[0] not in linked:
+                    counts[(writer[1], stmt.ngram.signature)] += 1
+                    linked.add(writer[0])
+        for var in stmt.writes:
+            last_writer[var] = (position, stmt.ngram.signature)
+    return counts
+
+
+def parse_script(source: str, lemmatized: bool = False) -> ScriptDAG:
+    """Parse *source* into its DAG representation.
+
+    Lemmatization (canonical renaming + normalization) is applied first
+    unless the caller already did so.
+    """
+    normalized = source if lemmatized else lemmatize(source)
+    try:
+        tree = ast.parse(normalized)
+    except SyntaxError as exc:  # pragma: no cover - lemmatize already parsed
+        raise ScriptParseError(str(exc)) from exc
+    statements = [
+        Statement.from_ast(index, node) for index, node in enumerate(tree.body)
+    ]
+    return ScriptDAG(statements)

@@ -1,0 +1,84 @@
+"""Persisting the curated search space (offline-phase output).
+
+The offline phase (Section 5.1) parses every corpus script and builds the
+vocabularies and corpus distribution.  For large corpora this is worth
+doing once: ``save_vocabulary``/``load_vocabulary`` serialize the curated
+search space to JSON so the online phase can start immediately.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter, defaultdict
+from typing import Dict
+
+from .vocabulary import CorpusVocabulary
+
+__all__ = ["save_vocabulary", "load_vocabulary", "vocabulary_to_dict", "vocabulary_from_dict"]
+
+_FORMAT_VERSION = 1
+
+
+def vocabulary_to_dict(vocabulary: CorpusVocabulary) -> dict:
+    """JSON-serializable form of a curated vocabulary."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "n_scripts": vocabulary.n_scripts,
+        "avg_code_lines": vocabulary.stats().avg_code_lines,
+        "edge_counts": [
+            [source, target, count]
+            for (source, target), count in sorted(vocabulary.edge_counts.items())
+        ],
+        "onegram_counts": dict(vocabulary.onegram_counts),
+        "ngram_counts": dict(vocabulary.ngram_counts),
+        "ngram_script_frequency": {
+            sig: vocabulary.statement_frequency(sig)
+            for sig in vocabulary.ngram_counts
+        },
+        "successors": {
+            source: dict(counter)
+            for source, counter in vocabulary.successors.items()
+        },
+        "onegram_templates": dict(vocabulary.onegram_templates),
+        "relative_positions": dict(vocabulary.relative_positions),
+    }
+
+
+def vocabulary_from_dict(payload: dict) -> CorpusVocabulary:
+    """Rebuild a vocabulary from its serialized form (no reparsing)."""
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported vocabulary format version: {version!r} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    vocabulary = CorpusVocabulary.__new__(CorpusVocabulary)
+    vocabulary._dags = []
+    vocabulary.edge_counts = Counter(
+        {(source, target): count for source, target, count in payload["edge_counts"]}
+    )
+    vocabulary.onegram_counts = Counter(payload["onegram_counts"])
+    vocabulary.ngram_counts = Counter(payload["ngram_counts"])
+    vocabulary.successors = defaultdict(
+        Counter,
+        {source: Counter(c) for source, c in payload["successors"].items()},
+    )
+    vocabulary.onegram_templates = dict(payload["onegram_templates"])
+    vocabulary.relative_positions = dict(payload["relative_positions"])
+    vocabulary._total_edges = sum(vocabulary.edge_counts.values())
+    vocabulary._restored_n_scripts = int(payload["n_scripts"])
+    vocabulary._restored_avg_lines = float(payload["avg_code_lines"])
+    vocabulary._restored_frequencies = dict(payload["ngram_script_frequency"])
+    return vocabulary
+
+
+def save_vocabulary(vocabulary: CorpusVocabulary, path: str) -> None:
+    """Write the curated search space to *path* as JSON."""
+    with open(path, "w") as handle:
+        json.dump(vocabulary_to_dict(vocabulary), handle, indent=1)
+
+
+def load_vocabulary(path: str) -> CorpusVocabulary:
+    """Load a search space previously written by :func:`save_vocabulary`."""
+    with open(path, "r") as handle:
+        return vocabulary_from_dict(json.load(handle))

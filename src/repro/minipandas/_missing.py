@@ -1,0 +1,37 @@
+"""Missing-value conventions shared across the minipandas substrate.
+
+Numeric columns use ``float('nan')`` as their missing marker; object columns
+use ``None``.  ``is_missing`` recognizes both, which lets mixed-provenance
+values (e.g. a raw CSV field that failed numeric parsing) flow through
+``fillna``/``dropna`` uniformly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+__all__ = ["NA", "is_missing", "missing_for_dtype"]
+
+#: Canonical missing-value sentinel exposed as ``minipandas.NA``.
+NA = float("nan")
+
+
+def is_missing(value: Any) -> bool:
+    """Return True when *value* is a missing-data marker (None or NaN)."""
+    if value is None:
+        return True
+    if isinstance(value, float):
+        return math.isnan(value)
+    # numpy scalar floats compare unequal to themselves when NaN.
+    try:
+        return bool(value != value)
+    except Exception:
+        return False
+
+
+def missing_for_dtype(dtype: str) -> Any:
+    """Return the missing marker appropriate for a minipandas dtype name."""
+    if dtype in ("float64", "int64", "bool"):
+        return NA
+    return None

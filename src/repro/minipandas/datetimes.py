@@ -1,0 +1,118 @@
+"""Datetime parsing and the ``Series.dt`` accessor.
+
+Supports the date shapes that appear in data-preparation scripts:
+ISO dates/timestamps, ``YYYY/MM/DD``, and ``DD.MM.YYYY`` (the Predict
+Future Sales competition's format).  Values are stored as
+``datetime.datetime`` objects inside object-dtype Series.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+from typing import Any, Callable, Optional
+
+from ._missing import NA, is_missing
+from .series import Series
+
+__all__ = ["to_datetime", "DatetimeAccessor"]
+
+_FORMATS = (
+    "%Y-%m-%d",
+    "%Y-%m-%d %H:%M:%S",
+    "%Y/%m/%d",
+    "%d.%m.%Y",
+    "%m/%d/%Y",
+    "%d-%m-%Y",
+)
+
+
+def _parse_one(value: Any, fmt: Optional[str]) -> datetime:
+    if isinstance(value, datetime):
+        return value
+    text = str(value).strip()
+    if fmt is not None:
+        return datetime.strptime(text, fmt)
+    for candidate in _FORMATS:
+        try:
+            return datetime.strptime(text, candidate)
+        except ValueError:
+            continue
+    raise ValueError(f"unable to parse {value!r} as a datetime")
+
+
+def to_datetime(
+    data,
+    errors: str = "raise",
+    format: Optional[str] = None,
+) -> Series:
+    """Convert a Series (or iterable) of date strings to datetimes.
+
+    ``errors='coerce'`` maps unparseable values to NaN, as in pandas.
+    """
+    if not isinstance(data, Series):
+        data = Series(list(data))
+    values = []
+    for value in data:
+        if is_missing(value):
+            values.append(NA)
+            continue
+        try:
+            values.append(_parse_one(value, format))
+        except ValueError:
+            if errors == "coerce":
+                values.append(NA)
+            else:
+                raise
+    return Series(values, index=data.index.tolist(), name=data.name)
+
+
+class DatetimeAccessor:
+    """Vectorized datetime properties reached through ``series.dt``."""
+
+    def __init__(self, series: Series):
+        self._series = series
+
+    def _map(self, func: Callable[[datetime], Any]) -> Series:
+        values = []
+        for value in self._series:
+            if is_missing(value):
+                values.append(NA)
+            elif isinstance(value, datetime):
+                values.append(func(value))
+            else:
+                raise AttributeError(
+                    "Can only use .dt accessor with datetime values; "
+                    f"got {type(value).__name__} (apply pd.to_datetime first)"
+                )
+        return Series(values, index=self._series.index.tolist(), name=self._series.name)
+
+    @property
+    def year(self) -> Series:
+        return self._map(lambda d: d.year)
+
+    @property
+    def month(self) -> Series:
+        return self._map(lambda d: d.month)
+
+    @property
+    def day(self) -> Series:
+        return self._map(lambda d: d.day)
+
+    @property
+    def hour(self) -> Series:
+        return self._map(lambda d: d.hour)
+
+    @property
+    def dayofweek(self) -> Series:
+        return self._map(lambda d: d.weekday())
+
+    @property
+    def quarter(self) -> Series:
+        return self._map(lambda d: (d.month - 1) // 3 + 1)
+
+    @property
+    def dayofyear(self) -> Series:
+        return self._map(lambda d: d.timetuple().tm_yday)
+
+    def strftime(self, fmt: str) -> Series:
+        return self._map(lambda d: d.strftime(fmt))

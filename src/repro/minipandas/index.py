@@ -1,0 +1,93 @@
+"""A minimal immutable axis-label container, mirroring ``pandas.Index``."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, List, Sequence
+
+__all__ = ["Index", "RangeIndex"]
+
+
+class Index:
+    """An ordered, immutable sequence of row labels.
+
+    Supports the subset of the pandas ``Index`` API the corpus scripts and
+    the LucidScript sandbox rely on: iteration, length, membership,
+    positional access, equality, and ``tolist``.
+    """
+
+    def __init__(self, labels: Iterable[Any]):
+        self._labels: List[Any] = list(labels)
+        self._positions = None  # lazy label -> position map
+
+    # -- basic container protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._labels)
+
+    def __contains__(self, label: Any) -> bool:
+        return label in self._position_map()
+
+    def __getitem__(self, item):
+        if isinstance(item, slice):
+            return Index(self._labels[item])
+        return self._labels[item]
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, Index):
+            return self._labels == other._labels
+        if isinstance(other, (list, tuple)):
+            return self._labels == list(other)
+        return NotImplemented
+
+    def __hash__(self):  # pragma: no cover - mirrors pandas (unhashable)
+        raise TypeError("Index objects are unhashable")
+
+    def __repr__(self) -> str:
+        preview = ", ".join(repr(x) for x in self._labels[:10])
+        suffix = ", ..." if len(self._labels) > 10 else ""
+        return f"Index([{preview}{suffix}], length={len(self._labels)})"
+
+    # -- lookups ------------------------------------------------------------------
+    def _position_map(self) -> dict:
+        if self._positions is None:
+            self._positions = {}
+            for pos, label in enumerate(self._labels):
+                # first occurrence wins, matching get_loc on duplicate labels
+                self._positions.setdefault(label, pos)
+        return self._positions
+
+    def get_loc(self, label: Any) -> int:
+        """Return the position of *label*, raising KeyError when absent."""
+        try:
+            return self._position_map()[label]
+        except KeyError:
+            raise KeyError(f"label {label!r} not found in index") from None
+
+    def positions_for(self, labels: Sequence[Any]) -> List[int]:
+        """Map a sequence of labels to positions, raising on any miss."""
+        mapping = self._position_map()
+        out = []
+        for label in labels:
+            if label not in mapping:
+                raise KeyError(f"label {label!r} not found in index")
+            out.append(mapping[label])
+        return out
+
+    def tolist(self) -> List[Any]:
+        return list(self._labels)
+
+    def to_list(self) -> List[Any]:
+        return self.tolist()
+
+    def is_unique(self) -> bool:
+        return len(set(self._labels)) == len(self._labels)
+
+    def take(self, positions: Sequence[int]) -> "Index":
+        return Index(self._labels[pos] for pos in positions)
+
+
+def RangeIndex(n: int) -> Index:
+    """Build the default 0..n-1 integer index."""
+    return Index(range(n))

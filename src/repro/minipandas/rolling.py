@@ -1,0 +1,63 @@
+"""Rolling-window aggregations (``Series.rolling``)."""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+import numpy as np
+
+from ._missing import NA, is_missing
+from .series import Series
+
+__all__ = ["Rolling"]
+
+
+class Rolling:
+    """A fixed-size trailing window over a Series.
+
+    Windows with fewer than ``min_periods`` present values yield NaN,
+    matching pandas (``min_periods`` defaults to the window size).
+    """
+
+    def __init__(self, series: Series, window: int, min_periods: int = None):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self._series = series
+        self.window = window
+        self.min_periods = window if min_periods is None else min_periods
+        if self.min_periods < 1:
+            raise ValueError("min_periods must be >= 1")
+
+    def _aggregate(self, func: Callable[[List[float]], float]) -> Series:
+        values = self._series.tolist()
+        out: List = []
+        for end in range(len(values)):
+            start = max(0, end - self.window + 1)
+            window_values = [
+                float(v) for v in values[start : end + 1] if not is_missing(v)
+            ]
+            if len(window_values) < self.min_periods:
+                out.append(NA)
+            else:
+                out.append(func(window_values))
+        return Series(out, index=self._series.index.tolist(), name=self._series.name)
+
+    def mean(self) -> Series:
+        return self._aggregate(lambda w: float(np.mean(w)))
+
+    def sum(self) -> Series:
+        return self._aggregate(lambda w: float(np.sum(w)))
+
+    def min(self) -> Series:
+        return self._aggregate(min)
+
+    def max(self) -> Series:
+        return self._aggregate(max)
+
+    def std(self) -> Series:
+        return self._aggregate(
+            lambda w: float(np.std(w, ddof=1)) if len(w) > 1 else NA
+        )
+
+    def median(self) -> Series:
+        return self._aggregate(lambda w: float(np.median(w)))

@@ -1,0 +1,117 @@
+"""The ``Series.str`` accessor: vectorized string operations.
+
+Missing values pass through untouched, matching pandas semantics, and
+non-string values raise ``AttributeError`` like pandas' object-dtype paths.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable
+
+from ._missing import NA, is_missing
+from .series import Series
+
+__all__ = ["StringAccessor"]
+
+
+class StringAccessor:
+    """Vectorized string methods reached through ``series.str``."""
+
+    def __init__(self, series: Series):
+        self._series = series
+
+    def _map(self, func: Callable[[str], Any]) -> Series:
+        values = []
+        for v in self._series:
+            if is_missing(v):
+                values.append(NA)
+            elif isinstance(v, str):
+                values.append(func(v))
+            else:
+                raise AttributeError(
+                    f"Can only use .str accessor with string values, got {type(v).__name__}"
+                )
+        return Series(values, index=self._series.index.tolist(), name=self._series.name)
+
+    def lower(self) -> Series:
+        return self._map(str.lower)
+
+    def upper(self) -> Series:
+        return self._map(str.upper)
+
+    def title(self) -> Series:
+        return self._map(str.title)
+
+    def strip(self) -> Series:
+        return self._map(str.strip)
+
+    def lstrip(self) -> Series:
+        return self._map(str.lstrip)
+
+    def rstrip(self) -> Series:
+        return self._map(str.rstrip)
+
+    def len(self) -> Series:
+        return self._map(len)
+
+    def capitalize(self) -> Series:
+        return self._map(str.capitalize)
+
+    def contains(self, pattern: str, regex: bool = True, case: bool = True) -> Series:
+        if regex:
+            flags = 0 if case else re.IGNORECASE
+            compiled = re.compile(pattern, flags)
+            return self._map(lambda s: bool(compiled.search(s)))
+        if case:
+            return self._map(lambda s: pattern in s)
+        lowered = pattern.lower()
+        return self._map(lambda s: lowered in s.lower())
+
+    def startswith(self, prefix: str) -> Series:
+        return self._map(lambda s: s.startswith(prefix))
+
+    def endswith(self, suffix: str) -> Series:
+        return self._map(lambda s: s.endswith(suffix))
+
+    def replace(self, pattern: str, repl: str, regex: bool = True) -> Series:
+        if regex:
+            compiled = re.compile(pattern)
+            return self._map(lambda s: compiled.sub(repl, s))
+        return self._map(lambda s: s.replace(pattern, repl))
+
+    def split(self, sep: str = " ") -> Series:
+        return self._map(lambda s: s.split(sep))
+
+    def get(self, position: int) -> Series:
+        def getter(s):
+            try:
+                return s[position]
+            except IndexError:
+                return NA
+
+        return self._map(getter)
+
+    def slice(self, start: int = 0, stop: int | None = None) -> Series:
+        return self._map(lambda s: s[start:stop])
+
+    def extract(self, pattern: str) -> Series:
+        """Extract the first group of *pattern* (single-group form only)."""
+        compiled = re.compile(pattern)
+        if compiled.groups != 1:
+            raise ValueError("extract requires a pattern with exactly one group")
+
+        def extractor(s):
+            match = compiled.search(s)
+            return match.group(1) if match else NA
+
+        return self._map(extractor)
+
+    def zfill(self, width: int) -> Series:
+        return self._map(lambda s: s.zfill(width))
+
+    def isdigit(self) -> Series:
+        return self._map(str.isdigit)
+
+    def isalpha(self) -> Series:
+        return self._map(str.isalpha)

@@ -1,0 +1,38 @@
+"""Deterministic dataset splitting for downstream-model evaluation."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["train_test_split"]
+
+
+def train_test_split(
+    X,
+    y,
+    test_size: float = 0.25,
+    random_state: int = 0,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle-split arrays into train/test partitions.
+
+    The default ``random_state=0`` is intentional: LucidScript's Δ_M measure
+    compares two accuracies and needs the split to be identical across the
+    two evaluations.
+    """
+    X = np.asarray(X)
+    y = np.asarray(list(y))
+    if X.shape[0] != len(y):
+        raise ValueError("X and y have different numbers of rows")
+    n = X.shape[0]
+    if n < 2:
+        raise ValueError("need at least 2 rows to split")
+    if not 0.0 < test_size < 1.0:
+        raise ValueError(f"test_size must be in (0, 1), got {test_size}")
+    n_test = max(1, int(round(n * test_size)))
+    n_test = min(n_test, n - 1)
+    rng = np.random.default_rng(random_state)
+    order = rng.permutation(n)
+    test_idx, train_idx = order[:n_test], order[n_test:]
+    return X[train_idx], X[test_idx], y[train_idx], y[test_idx]

@@ -1,0 +1,10 @@
+"""repro.sandbox — executes data-preparation scripts against minipandas.
+
+The execution-constraint oracle: candidate scripts are compiled and run with
+``pandas`` mapped to :mod:`repro.minipandas` and CSV paths resolved against
+a per-run data directory.
+"""
+
+from .runner import ExecutionResult, SandboxError, check_executes, run_script
+
+__all__ = ["ExecutionResult", "SandboxError", "check_executes", "run_script"]

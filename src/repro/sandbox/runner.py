@@ -1,0 +1,242 @@
+"""Script execution sandbox.
+
+Runs data-preparation scripts exactly as a Kaggle notebook would, with two
+substitutions: ``import pandas as pd`` resolves to :mod:`repro.minipandas`
+(pandas is unavailable offline), and ``read_csv`` paths are resolved against
+a per-run data directory with optional row sampling (Section 5.2 (5), used
+to keep constraint checks fast on large D_IN).
+
+The sandbox is the oracle behind LucidScript's *execution constraint*: a
+candidate script is valid iff :func:`run_script` reports success.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from .. import minipandas
+from ..minipandas import DataFrame
+
+__all__ = ["ExecutionResult", "SandboxError", "run_script", "check_executes"]
+
+#: Modules scripts may import, and what they resolve to.
+_ALLOWED_MODULES = {
+    "pandas": minipandas,
+    "numpy": np,
+    "math": __import__("math"),
+    "re": __import__("re"),
+    "random": __import__("random"),
+}
+
+
+class SandboxError(Exception):
+    """The sandbox itself was misused (not a script failure)."""
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one sandboxed script run."""
+
+    ok: bool
+    output: Optional[DataFrame] = None
+    error: Optional[BaseException] = None
+    error_line: Optional[int] = None
+    namespace: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def error_type(self) -> Optional[str]:
+        return type(self.error).__name__ if self.error is not None else None
+
+
+#: Parsed-CSV cache: beam search re-executes scripts against the same file
+#: dozens of times per search, and parsing dominates for large D_IN.
+#: Keyed by (path, mtime, size); holds the full parsed frame.
+_CSV_CACHE: Dict[tuple, DataFrame] = {}
+_CSV_CACHE_LIMIT = 8
+
+
+def _read_csv_cached(path: str, **kwargs) -> DataFrame:
+    if kwargs:
+        return minipandas.read_csv(path, **kwargs)  # non-default reads bypass
+    stat = os.stat(path)
+    key = (os.path.abspath(path), stat.st_mtime_ns, stat.st_size)
+    if key not in _CSV_CACHE:
+        if len(_CSV_CACHE) >= _CSV_CACHE_LIMIT:
+            _CSV_CACHE.pop(next(iter(_CSV_CACHE)))
+        _CSV_CACHE[key] = minipandas.read_csv(path)
+    return _CSV_CACHE[key]
+
+
+class _ReadCsvResolver:
+    """A read_csv that maps script paths onto the run's data directory."""
+
+    def __init__(self, data_dir: Optional[str], sample_rows: Optional[int]):
+        self.data_dir = data_dir
+        self.sample_rows = sample_rows
+
+    def __call__(self, path: str, **kwargs) -> DataFrame:
+        resolved = self._resolve(path)
+        frame = _read_csv_cached(resolved, **kwargs)
+        if self.sample_rows is not None and len(frame) > self.sample_rows:
+            frame = frame.sample(n=self.sample_rows, random_state=0)
+        else:
+            # scripts mutate their frame; never hand out the cached object
+            frame = frame.copy()
+        return frame
+
+    def _resolve(self, path: str) -> str:
+        if self.data_dir is None:
+            return path
+        if os.path.isabs(path) and os.path.exists(path):
+            return path
+        candidate = os.path.join(self.data_dir, os.path.basename(path))
+        if os.path.exists(candidate):
+            return candidate
+        direct = os.path.join(self.data_dir, path)
+        if os.path.exists(direct):
+            return direct
+        return path  # let read_csv raise the natural FileNotFoundError
+
+
+class _SandboxPandas:
+    """Proxy module exposing minipandas with a patched read_csv."""
+
+    def __init__(self, resolver: _ReadCsvResolver):
+        self._resolver = resolver
+
+    def __getattr__(self, name: str):
+        if name == "read_csv":
+            return self._resolver
+        return getattr(minipandas, name)
+
+
+def _last_dataframe_variable(source: str) -> Optional[str]:
+    """Name of the last top-level assignment target (output convention)."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return None
+    last = None
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                last = target.id
+    return last
+
+
+def _select_output(namespace: Dict[str, Any], source: str) -> Optional[DataFrame]:
+    """Pick the script's output table: 'df' by convention, else the frame
+    bound to the last assigned DataFrame variable, else any DataFrame."""
+    if isinstance(namespace.get("df"), DataFrame):
+        return namespace["df"]
+    last = _last_dataframe_variable(source)
+    if last and isinstance(namespace.get(last), DataFrame):
+        return namespace[last]
+    frames = [v for v in namespace.values() if isinstance(v, DataFrame)]
+    return frames[-1] if frames else None
+
+
+def _make_guarded_open(data_dir: Optional[str]):
+    """A read-only ``open`` restricted to the run's data directory.
+
+    Candidate scripts come out of a search over corpus-derived code; they
+    should never be able to write files or read outside their dataset.
+    """
+    real_open = open
+
+    def guarded_open(file, mode="r", *args, **kwargs):
+        if any(flag in mode for flag in ("w", "a", "x", "+")):
+            raise PermissionError("the script sandbox is read-only")
+        path = os.path.abspath(os.fspath(file))
+        if data_dir is not None:
+            root = os.path.abspath(data_dir)
+            if not path.startswith(root + os.sep) and path != root:
+                raise PermissionError(
+                    f"the script sandbox can only read from {root!r}"
+                )
+        return real_open(path, mode, *args, **kwargs)
+
+    return guarded_open
+
+
+def run_script(
+    source: str,
+    data_dir: Optional[str] = None,
+    sample_rows: Optional[int] = None,
+    extra_globals: Optional[Dict[str, Any]] = None,
+) -> ExecutionResult:
+    """Execute *source* in the sandbox and capture its output table.
+
+    Parameters
+    ----------
+    source:
+        Script text (straight-line pandas code).
+    data_dir:
+        Directory containing the run's CSV files; ``read_csv`` paths are
+        resolved against it by basename.
+    sample_rows:
+        When set, every loaded table is down-sampled to at most this many
+        rows (deterministically) — the paper's sampling optimization.
+    extra_globals:
+        Additional names injected into the script namespace.
+    """
+    resolver = _ReadCsvResolver(data_dir, sample_rows)
+    sandbox_pd = _SandboxPandas(resolver)
+    module_table = dict(_ALLOWED_MODULES)
+    module_table["pandas"] = sandbox_pd
+
+    def guarded_import(name, globals=None, locals=None, fromlist=(), level=0):
+        root = name.split(".")[0]
+        if root in module_table:
+            return module_table[root]
+        raise ImportError(f"module {name!r} is not available inside the script sandbox")
+
+    sandbox_builtins = dict(vars(builtins))
+    sandbox_builtins["__import__"] = guarded_import
+    sandbox_builtins["open"] = _make_guarded_open(data_dir)
+    namespace: Dict[str, Any] = {"__builtins__": sandbox_builtins, "__name__": "__sandbox__"}
+    if extra_globals:
+        namespace.update(extra_globals)
+
+    try:
+        code = compile(source, "<script>", "exec")
+    except SyntaxError as exc:
+        return ExecutionResult(ok=False, error=exc, error_line=exc.lineno)
+
+    try:
+        exec(code, namespace)
+    except BaseException as exc:  # noqa: BLE001 - any script failure is data
+        tb = exc.__traceback__
+        line = None
+        while tb is not None:
+            if tb.tb_frame.f_code.co_filename == "<script>":
+                line = tb.tb_lineno
+            tb = tb.tb_next
+        return ExecutionResult(ok=False, error=exc, error_line=line)
+
+    namespace.pop("__builtins__", None)
+    return ExecutionResult(
+        ok=True, output=_select_output(namespace, source), namespace=namespace
+    )
+
+
+def check_executes(
+    source: str,
+    data_dir: Optional[str] = None,
+    sample_rows: Optional[int] = 200,
+) -> bool:
+    """The paper's CheckIfExecutes(): does the script run without error?
+
+    Uses aggressive row sampling by default — execution validity rarely
+    depends on data volume, and this check runs inside the beam-search
+    inner loop.
+    """
+    result = run_script(source, data_dir=data_dir, sample_rows=sample_rows)
+    return result.ok and result.output is not None

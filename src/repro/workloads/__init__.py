@@ -1,0 +1,49 @@
+"""repro.workloads — synthetic versions of the six evaluation competitions.
+
+Offline stand-in for the paper's Kaggle downloads: per-competition data
+generators (schemas, missing-data structure, learnable targets), script
+corpora generated from long-tailed step pools and validated by execution,
+vote metadata for the low-ranked-corpus scenario, and target-leakage
+injection for the Section 6.6 case study.
+"""
+
+from .corpus import (
+    SPECS,
+    ScriptCorpus,
+    build_competition,
+    competition_names,
+    generate_scripts,
+)
+from .datasets import (
+    generate_house,
+    generate_medical,
+    generate_nlp,
+    generate_sales,
+    generate_spaceship,
+    generate_titanic,
+)
+from .leakage import LEAKAGE_PATTERNS, inject_target_leakage, leakage_snippets_for
+from .schemas import GROUPS, CompetitionSpec, StepSlot
+from .steps import RARE_POOLS, SLOT_POOLS
+
+__all__ = [
+    "GROUPS",
+    "LEAKAGE_PATTERNS",
+    "RARE_POOLS",
+    "SLOT_POOLS",
+    "SPECS",
+    "CompetitionSpec",
+    "ScriptCorpus",
+    "StepSlot",
+    "build_competition",
+    "competition_names",
+    "generate_scripts",
+    "generate_house",
+    "generate_medical",
+    "generate_nlp",
+    "generate_sales",
+    "generate_spaceship",
+    "generate_titanic",
+    "inject_target_leakage",
+    "leakage_snippets_for",
+]

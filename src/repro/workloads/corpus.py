@@ -1,0 +1,271 @@
+"""Synthetic competition builder: datasets + script corpora (Section 6.1.3).
+
+The paper downloads each competition's scripts via the Kaggle API; offline,
+we synthesize them.  Every generated script is validated by actually
+executing it in the sandbox against the generated dataset, so the corpus
+satisfies the paper's implicit precondition that peer scripts run.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..sandbox import run_script
+from .datasets import (
+    generate_house,
+    generate_medical,
+    generate_nlp,
+    generate_sales,
+    generate_spaceship,
+    generate_titanic,
+)
+from .schemas import GROUPS, CompetitionSpec, StepSlot
+from .steps import RARE_POOLS, SLOT_POOLS
+
+__all__ = ["ScriptCorpus", "SPECS", "build_competition", "competition_names", "generate_scripts"]
+
+#: Fraction chance each rare (tail) step appears in a given script.
+_RARE_STEP_PROBABILITY = 0.06
+
+#: Chance a script is a minimal "starter notebook" (load + target split
+#: only) — real Kaggle corpora always contain a few of these.
+_MINIMAL_SCRIPT_PROBABILITY = 0.18
+
+#: Alternate dataframe variable names (lemmatization unifies them).
+_VARIABLE_NAMES = ("df", "df", "df", "train", "data")
+
+SPECS: Dict[str, CompetitionSpec] = {
+    "titanic": CompetitionSpec(
+        name="titanic", target="Survived", task="classification",
+        n_rows=900, n_scripts=62, data_file="train.csv",
+        generator=generate_titanic, slots=SLOT_POOLS["titanic"],
+        rare_steps=RARE_POOLS["titanic"], split_probability=0.5,
+    ),
+    "house": CompetitionSpec(
+        name="house", target="SalePrice", task="regression",
+        n_rows=1200, n_scripts=49, data_file="train.csv",
+        generator=generate_house, slots=SLOT_POOLS["house"],
+        rare_steps=RARE_POOLS["house"], split_probability=0.55,
+    ),
+    "nlp": CompetitionSpec(
+        name="nlp", target="target", task="classification",
+        n_rows=1800, n_scripts=24, data_file="train.csv",
+        generator=generate_nlp, slots=SLOT_POOLS["nlp"],
+        rare_steps=RARE_POOLS["nlp"], split_probability=0.5,
+    ),
+    "spaceship": CompetitionSpec(
+        name="spaceship", target="Transported", task="classification",
+        n_rows=1500, n_scripts=38, data_file="train.csv",
+        generator=generate_spaceship, slots=SLOT_POOLS["spaceship"],
+        rare_steps=RARE_POOLS["spaceship"], split_probability=0.55,
+    ),
+    "medical": CompetitionSpec(
+        name="medical", target="Outcome", task="classification",
+        n_rows=768, n_scripts=47, data_file="train.csv",
+        generator=generate_medical, slots=SLOT_POOLS["medical"],
+        rare_steps=RARE_POOLS["medical"], split_probability=0.5,
+    ),
+    "sales": CompetitionSpec(
+        name="sales", target="item_cnt_day", task="regression",
+        n_rows=40000, n_scripts=26, data_file="train.csv",
+        generator=generate_sales, slots=SLOT_POOLS["sales"],
+        rare_steps=RARE_POOLS["sales"], split_probability=0.45,
+    ),
+}
+
+
+def competition_names() -> List[str]:
+    return list(SPECS)
+
+
+@dataclass
+class ScriptCorpus:
+    """A built competition: dataset on disk plus its script corpus."""
+
+    name: str
+    target: str
+    task: str
+    data_dir: str
+    data_file: str
+    scripts: List[str]
+    votes: List[int] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.votes and len(self.votes) != len(self.scripts):
+            raise ValueError("votes must parallel scripts")
+
+    def __len__(self) -> int:
+        return len(self.scripts)
+
+    def leave_one_out(self):
+        """Yield (user_script, remaining_corpus) pairs (Section 6.1.3)."""
+        for held_out in range(len(self.scripts)):
+            rest = [s for pos, s in enumerate(self.scripts) if pos != held_out]
+            yield self.scripts[held_out], rest
+
+    def small(self, n: int = 10, seed: int = 0) -> "ScriptCorpus":
+        """A down-sampled corpus (the paper's "small corpus" scenario)."""
+        rng = np.random.default_rng(seed)
+        n = min(n, len(self.scripts))
+        picks = sorted(rng.choice(len(self.scripts), size=n, replace=False).tolist())
+        return ScriptCorpus(
+            name=f"{self.name}-small",
+            target=self.target,
+            task=self.task,
+            data_dir=self.data_dir,
+            data_file=self.data_file,
+            scripts=[self.scripts[p] for p in picks],
+            votes=[self.votes[p] for p in picks] if self.votes else [],
+        )
+
+    def low_ranked(self, fraction: float = 0.3) -> "ScriptCorpus":
+        """The bottom-*fraction* of scripts by vote count (Section 6.3.3)."""
+        if not self.votes:
+            raise ValueError("corpus has no vote metadata")
+        order = sorted(range(len(self.scripts)), key=lambda pos: self.votes[pos])
+        keep = order[: max(2, int(round(len(order) * fraction)))]
+        keep.sort()
+        return ScriptCorpus(
+            name=f"{self.name}-low-ranked",
+            target=self.target,
+            task=self.task,
+            data_dir=self.data_dir,
+            data_file=self.data_file,
+            scripts=[self.scripts[p] for p in keep],
+            votes=[self.votes[p] for p in keep],
+        )
+
+
+def _substitute_variable(source: str, variable: str) -> str:
+    if variable == "df":
+        return source
+    return re.sub(r"\bdf\b", variable, source)
+
+
+def _choose_alternative(slot: StepSlot, rng: np.random.Generator) -> Optional[str]:
+    roll = rng.random()
+    cumulative = 0.0
+    for source, probability in slot.alternatives:
+        cumulative += probability
+        if roll < cumulative:
+            return source
+    return None
+
+
+def _majority_coverage(chosen: Sequence[str], spec: CompetitionSpec) -> float:
+    """Fraction of slots where the script picked the majority alternative."""
+    majority = {
+        max(slot.alternatives, key=lambda alt: alt[1])[0] for slot in spec.slots
+    }
+    if not majority:
+        return 0.0
+    hits = sum(1 for step in chosen if step in majority)
+    return hits / len(majority)
+
+
+def _generate_one_script(
+    spec: CompetitionSpec, rng: np.random.Generator
+) -> Tuple[str, float]:
+    variable = rng.choice(_VARIABLE_NAMES)
+    lines = ["import pandas as pd"]
+    if rng.random() < 0.4:
+        lines.append("import numpy as np")
+    lines.append(f"{variable} = pd.read_csv('{spec.data_file}')")
+
+    if rng.random() < _MINIMAL_SCRIPT_PROBABILITY:
+        lines.append(f"y = {variable}['{spec.target}']")
+        lines.append(f"X = {variable}.drop('{spec.target}', axis=1)")
+        return "\n".join(lines), 0.0
+
+    chosen: List[Tuple[int, str]] = []
+    for position, slot in enumerate(spec.slots):
+        source = _choose_alternative(slot, rng)
+        if source is not None:
+            chosen.append((GROUPS[slot.group] * 100 + position, source))
+    for source in spec.rare_steps:
+        if rng.random() < _RARE_STEP_PROBABILITY:
+            # rare steps land at a random phase between impute and encode
+            phase = int(rng.integers(0, GROUPS["encode"] + 1))
+            chosen.append((phase * 100 + 50 + int(rng.integers(0, 40)), source))
+    chosen.sort(key=lambda pair: pair[0])
+
+    body = [step for _, step in chosen]
+    coverage = _majority_coverage(body, spec)
+    lines.extend(_substitute_variable(step, variable) for step in body)
+
+    if rng.random() < spec.split_probability:
+        lines.append(f"y = {variable}['{spec.target}']")
+        lines.append(f"X = {variable}.drop('{spec.target}', axis=1)")
+    return "\n".join(lines), coverage
+
+
+def generate_scripts(
+    spec: CompetitionSpec,
+    data_dir: str,
+    rng: np.random.Generator,
+    n_scripts: Optional[int] = None,
+    max_attempts_per_script: int = 8,
+) -> Tuple[List[str], List[int]]:
+    """Generate *n_scripts* sandbox-validated scripts plus synthetic votes.
+
+    Scripts that fail to execute (rare-step conflicts such as referencing a
+    dropped column) are regenerated, mirroring the paper's use of working
+    notebook corpora.  Votes model Kaggle upvotes: scripts that follow
+    majority practice attract more of them.
+    """
+    n_scripts = n_scripts or spec.n_scripts
+    scripts: List[str] = []
+    votes: List[int] = []
+    for _ in range(n_scripts):
+        for attempt in range(max_attempts_per_script):
+            script, coverage = _generate_one_script(spec, rng)
+            result = run_script(script, data_dir=data_dir, sample_rows=150)
+            if result.ok and result.output is not None and len(result.output):
+                scripts.append(script)
+                votes.append(int(rng.poisson(1 + 14 * coverage)))
+                break
+        else:
+            raise RuntimeError(
+                f"could not generate an executable script for {spec.name!r} "
+                f"after {max_attempts_per_script} attempts"
+            )
+    return scripts, votes
+
+
+def build_competition(
+    name: str,
+    root_dir: str,
+    seed: int = 0,
+    n_scripts: Optional[int] = None,
+    n_rows: Optional[int] = None,
+) -> ScriptCorpus:
+    """Materialize one competition: write its CSV and generate its corpus.
+
+    Rebuilding with the same (name, seed, sizes) is deterministic.
+    """
+    if name not in SPECS:
+        raise KeyError(
+            f"unknown competition {name!r}; choose from {competition_names()}"
+        )
+    spec = SPECS[name]
+    rng = np.random.default_rng(seed + zlib.crc32(name.encode()) % 100003)
+    data_dir = os.path.join(root_dir, name)
+    os.makedirs(data_dir, exist_ok=True)
+    frame = spec.generator(rng, n_rows or spec.n_rows)
+    frame.to_csv(os.path.join(data_dir, spec.data_file))
+    scripts, votes = generate_scripts(spec, data_dir, rng, n_scripts=n_scripts)
+    return ScriptCorpus(
+        name=name,
+        target=spec.target,
+        task=spec.task,
+        data_dir=data_dir,
+        data_file=spec.data_file,
+        scripts=scripts,
+        votes=votes,
+    )

@@ -1,0 +1,245 @@
+"""Data-preparation step pools for the six synthetic competitions.
+
+Each competition gets a set of :class:`StepSlot` decision points whose
+alternative probabilities shape the corpus step distribution: a majority
+practice (e.g. mean imputation), competing minority variants (median
+imputation), and a tail of rare idiosyncratic steps.  This long-tailed
+structure is what makes bottom-up standardization both possible (there is
+a consensus to converge to) and bounded (the consensus is not universal).
+
+Every template is written against the canonical variable ``df`` and must
+execute on the competition's generated dataset under minipandas.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .schemas import StepSlot
+
+__all__ = ["SLOT_POOLS", "RARE_POOLS"]
+
+SLOT_POOLS: Dict[str, Tuple[StepSlot, ...]] = {
+    "titanic": (
+        StepSlot("impute", (
+            ("df['Age'] = df['Age'].fillna(df['Age'].mean())", 0.45),
+            ("df['Age'] = df['Age'].fillna(df['Age'].median())", 0.2),
+            ("df = df.dropna(subset=['Age'])", 0.1),
+        )),
+        StepSlot("impute", (
+            ("df['Embarked'] = df['Embarked'].fillna('S')", 0.5),
+            ("df = df.dropna(subset=['Embarked'])", 0.12),
+        )),
+        StepSlot("clean", (
+            ("df = df.drop('Cabin', axis=1)", 0.6),
+            ("df['Cabin'] = df['Cabin'].fillna('Unknown')", 0.12),
+        )),
+        StepSlot("clean", (
+            ("df = df.drop(['PassengerId', 'Name', 'Ticket'], axis=1)", 0.7),
+            ("df = df.drop(['Name', 'Ticket'], axis=1)", 0.15),
+        )),
+        StepSlot("filter", (
+            ("df = df[df['Fare'] < 300]", 0.3),
+            ("df = df[df['Fare'] > 0]", 0.12),
+        )),
+        StepSlot("feature", (
+            ("df['FamilySize'] = df['SibSp'] + df['Parch'] + 1", 0.45),
+        )),
+        StepSlot("feature", (
+            ("df['IsAlone'] = (df['SibSp'] + df['Parch'] == 0).astype(int)", 0.25),
+        )),
+        StepSlot("feature", (
+            ("df['Sex'] = df['Sex'].map({'male': 0, 'female': 1})", 0.55),
+        )),
+        StepSlot("encode", (
+            ("df = pd.get_dummies(df, columns=['Embarked'])", 0.45),
+            ("df['Embarked'] = df['Embarked'].map({'S': 0, 'C': 1, 'Q': 2})", 0.18),
+        )),
+    ),
+    "house": (
+        StepSlot("impute", (
+            ("df['LotFrontage'] = df['LotFrontage'].fillna(df['LotFrontage'].mean())", 0.4),
+            ("df['LotFrontage'] = df['LotFrontage'].fillna(df['LotFrontage'].median())", 0.25),
+        )),
+        StepSlot("impute", (
+            ("df['GarageYrBlt'] = df['GarageYrBlt'].fillna(0)", 0.35),
+            ("df['GarageYrBlt'] = df['GarageYrBlt'].fillna(df['GarageYrBlt'].median())", 0.15),
+        )),
+        StepSlot("impute", (
+            ("df['MasVnrArea'] = df['MasVnrArea'].fillna(0)", 0.45),
+        )),
+        StepSlot("clean", (
+            ("df = df.drop('Id', axis=1)", 0.7),
+        )),
+        StepSlot("filter", (
+            ("df = df[df['GrLivArea'] < 4000]", 0.45),
+            ("df = df[df['GrLivArea'] < 4500]", 0.1),
+        )),
+        StepSlot("feature", (
+            ("df['HouseAge'] = 2011 - df['YearBuilt']", 0.35),
+        )),
+        StepSlot("feature", (
+            ("df['TotalSF'] = df['GrLivArea'] + df['TotalBsmtSF']", 0.4),
+        )),
+        StepSlot("encode", (
+            ("df = pd.get_dummies(df, columns=['Neighborhood', 'HouseStyle'])", 0.55),
+            ("df = df.drop(['Neighborhood', 'HouseStyle'], axis=1)", 0.15),
+        )),
+    ),
+    "nlp": (
+        StepSlot("impute", (
+            ("df['keyword'] = df['keyword'].fillna('none')", 0.55),
+            ("df = df.dropna(subset=['keyword'])", 0.1),
+        )),
+        StepSlot("clean", (
+            ("df = df.drop('location', axis=1)", 0.6),
+            ("df['location'] = df['location'].fillna('unknown')", 0.15),
+        )),
+        StepSlot("clean", (
+            ("df['text'] = df['text'].str.lower()", 0.55),
+        )),
+        StepSlot("feature", (
+            ("df['word_count'] = df['text'].apply(lambda t: len(t.split()))", 0.4),
+        )),
+        StepSlot("encode", (
+            ("df = df.drop(['id', 'text'], axis=1)", 0.55),
+            ("df = df.drop('text', axis=1)", 0.15),
+        )),
+        StepSlot("encode", (
+            ("df = pd.get_dummies(df, columns=['keyword'])", 0.45),
+        )),
+    ),
+    "spaceship": (
+        StepSlot("impute", (
+            ("df['Age'] = df['Age'].fillna(df['Age'].mean())", 0.45),
+            ("df['Age'] = df['Age'].fillna(df['Age'].median())", 0.15),
+        )),
+        StepSlot("impute", (
+            ("df = df.fillna({'RoomService': 0, 'FoodCourt': 0, 'Spa': 0, 'VRDeck': 0})", 0.5),
+        )),
+        StepSlot("impute", (
+            ("df['HomePlanet'] = df['HomePlanet'].fillna('Earth')", 0.4),
+            ("df = df.dropna(subset=['HomePlanet'])", 0.1),
+        )),
+        StepSlot("impute", (
+            ("df['CryoSleep'] = df['CryoSleep'].fillna(False)", 0.45),
+        )),
+        StepSlot("clean", (
+            ("df = df.drop(['PassengerId', 'Cabin'], axis=1)", 0.6),
+            ("df = df.drop('Cabin', axis=1)", 0.15),
+        )),
+        StepSlot("feature", (
+            ("df['TotalSpend'] = df['RoomService'] + df['FoodCourt'] + df['Spa'] + df['VRDeck']", 0.35),
+        )),
+        StepSlot("feature", (
+            ("df['CryoSleep'] = df['CryoSleep'].map({True: 1, False: 0})", 0.35),
+        )),
+        StepSlot("encode", (
+            ("df = pd.get_dummies(df, columns=['HomePlanet', 'Destination'])", 0.5),
+            ("df = df.drop(['HomePlanet', 'Destination'], axis=1)", 0.12),
+        )),
+    ),
+    "medical": (
+        StepSlot("impute", (
+            ("df = df.fillna(df.mean())", 0.45),
+            ("df = df.fillna(df.median())", 0.2),
+            ("df = df.dropna()", 0.1),
+        )),
+        StepSlot("filter", (
+            ("df = df[df['SkinThickness'] < 80]", 0.4),
+        )),
+        StepSlot("filter", (
+            ("df = df[df['Insulin'] < 600]", 0.22),
+        )),
+        StepSlot("filter", (
+            ("df = df[df['Pregnancies'] < 12]", 0.15),
+        )),
+        StepSlot("feature", (
+            ("df['GlucoseBMI'] = df['Glucose'] * df['BMI']", 0.2),
+        )),
+        StepSlot("encode", (
+            ("df = pd.get_dummies(df)", 0.3),
+        )),
+    ),
+    "sales": (
+        StepSlot("clean", (
+            ("df['date'] = pd.to_datetime(df['date'])", 0.4),
+            ("df = df.drop('date', axis=1)", 0.3),
+        )),
+        StepSlot("clean", (
+            ("df = df[df['item_cnt_day'] > 0]", 0.5),
+            ("df['item_cnt_day'] = df['item_cnt_day'].clip(0, 20)", 0.25),
+        )),
+        StepSlot("filter", (
+            ("df = df[df['item_price'] < 100000]", 0.45),
+            ("df = df[df['item_price'] > 0]", 0.18),
+        )),
+        StepSlot("impute", (
+            ("df['item_price'] = df['item_price'].fillna(df['item_price'].median())", 0.4),
+            ("df = df.dropna(subset=['item_price'])", 0.15),
+        )),
+        StepSlot("feature", (
+            ("df['revenue'] = df['item_price'] * df['item_cnt_day']", 0.3),
+        )),
+        StepSlot("feature", (
+            ("df['is_december'] = (df['month'] == 12).astype(int)", 0.25),
+        )),
+    ),
+}
+
+RARE_POOLS: Dict[str, Tuple[str, ...]] = {
+    "titanic": (
+        "df['Age'] = df['Age'].clip(0, 70)",
+        "df = df.drop_duplicates()",
+        "df = df[df['Embarked'] == 'S']",
+        "df['Fare'] = df['Fare'].round(0)",
+        "df = df.sort_values('Fare')",
+        "df['Pclass'] = df['Pclass'].astype(str)",
+        "df['FarePerPerson'] = df['Fare'] / (df['SibSp'] + df['Parch'] + 1)",
+        "df = df[df['Age'] > 1]",
+        "df['Title'] = df['Name'].str.contains('Mrs')",
+    ),
+    "house": (
+        "df['LotArea'] = df['LotArea'].clip(0, 50000)",
+        "df = df[df['OverallQual'] > 2]",
+        "df = df.sort_values('YearBuilt')",
+        "df['QualArea'] = df['OverallQual'] * df['GrLivArea']",
+        "df = df[df['TotalBsmtSF'] < 3000]",
+        "df['YearBuilt'] = df['YearBuilt'].astype(float)",
+        "df = df.drop('MasVnrArea', axis=1)",
+    ),
+    "nlp": (
+        "df['exclamation_count'] = df['exclamation_count'].clip(0, 5)",
+        "df = df[df['char_count'] > 25]",
+        "df['has_hashtag'] = (df['hashtag_count'] > 0).astype(int)",
+        "df = df.drop_duplicates()",
+        "df = df.sort_values('char_count')",
+    ),
+    "spaceship": (
+        "df['VIP'] = df['VIP'].fillna(False)",
+        "df = df[df['Age'] > 0]",
+        "df['Spa'] = df['Spa'].clip(0, 10000)",
+        "df = df.drop('VIP', axis=1)",
+        "df = df.sort_values('Age')",
+        "df['RoomService'] = df['RoomService'].round(0)",
+        "df = df.drop_duplicates()",
+    ),
+    "medical": (
+        "df['Age'] = df['Age'].clip(21, 70)",
+        "df = df[df['BMI'] > 0]",
+        "df = df[df['BloodPressure'] > 0]",
+        "df['Insulin'] = df['Insulin'].round(0)",
+        "df = df.sort_values('Glucose')",
+        "df = df[df['Glucose'] > 0]",
+        "df = df.drop('DiabetesPedigreeFunction', axis=1)",
+    ),
+    "sales": (
+        "df = df[df['year'] == 2015]",
+        "df['item_price'] = df['item_price'].round(2)",
+        "df = df.drop('item_category_id', axis=1)",
+        "df = df.sort_values('item_price')",
+        "df = df.drop_duplicates()",
+        "df['day'] = pd.to_datetime(df['date']).dt.day",
+        "df['price_rank'] = df['item_price'].rank()",
+    ),
+}

@@ -1,0 +1,94 @@
+"""Shared fixtures: small datasets on disk and cached competition builds."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+import repro.minipandas as mp
+from repro.workloads import build_competition
+
+_COMPETITION_CACHE = {}
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture()
+def diabetes_dir(tmp_path):
+    """A small diabetes-like CSV the paper's running example uses."""
+    rng = np.random.default_rng(7)
+    n = 240
+    frame = mp.DataFrame(
+        {
+            "Pregnancies": rng.integers(0, 12, n).tolist(),
+            "Glucose": rng.normal(120, 30, n).round(0).tolist(),
+            "SkinThickness": rng.integers(5, 120, n).tolist(),
+            "Age": [int(a) if a > 0 else None for a in rng.integers(-3, 80, n)],
+            "Outcome": rng.integers(0, 2, n).tolist(),
+        }
+    )
+    frame.to_csv(str(tmp_path / "diabetes.csv"))
+    frame.to_csv(str(tmp_path / "train.csv"))
+    return str(tmp_path)
+
+
+@pytest.fixture()
+def diabetes_corpus():
+    """Three peer scripts echoing Table 1 of the paper."""
+    return [
+        "import pandas as pd\n"
+        "df = pd.read_csv('diabetes.csv')\n"
+        "df = df.fillna(df.mean())\n"
+        "df = df[df['SkinThickness'] < 80]\n"
+        "df = pd.get_dummies(df)",
+        "import pandas as pd\n"
+        "train = pd.read_csv('diabetes.csv')\n"
+        "train = train.fillna(train.mean())\n"
+        "train = train[train['SkinThickness'] < 80]\n"
+        "train = pd.get_dummies(train)",
+        "import pandas as pd\n"
+        "df = pd.read_csv('diabetes.csv')\n"
+        "df = df.fillna(df.mean())\n"
+        "df = pd.get_dummies(df)",
+    ]
+
+
+@pytest.fixture()
+def alex_script():
+    """The paper's running-example input script (Figure 1a)."""
+    return (
+        "import pandas as pd\n"
+        "df = pd.read_csv('diabetes.csv')\n"
+        "df = df.fillna(df.median())\n"
+        "df = df[df['Age'].between(18, 25)]\n"
+        "df = pd.get_dummies(df)"
+    )
+
+
+def competition(name: str, tmp_root: str = "/tmp/repro-test-comps", **kwargs):
+    """Session-cached competition build (building Sales etc. is not free)."""
+    key = (name, tuple(sorted(kwargs.items())))
+    if key not in _COMPETITION_CACHE:
+        os.makedirs(tmp_root, exist_ok=True)
+        _COMPETITION_CACHE[key] = build_competition(name, tmp_root, seed=0, **kwargs)
+    return _COMPETITION_CACHE[key]
+
+
+@pytest.fixture(scope="session")
+def medical_competition():
+    return competition("medical", n_scripts=16)
+
+
+@pytest.fixture(scope="session")
+def titanic_competition():
+    return competition("titanic", n_scripts=16)
+
+
+@pytest.fixture(scope="session")
+def nlp_competition():
+    return competition("nlp", n_scripts=12)

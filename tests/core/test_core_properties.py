@@ -1,0 +1,166 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import apply_transformation, relative_entropy
+from repro.core.transformations import ADD, DELETE, Transformation
+from repro.lang import NGRAM, lemmatize, parse_script
+from repro.lang.parser import Statement
+
+edge_keys = st.tuples(
+    st.sampled_from(["a", "b", "c", "d", "e"]),
+    st.sampled_from(["a", "b", "c", "d", "e"]),
+)
+counters = st.dictionaries(edge_keys, st.integers(1, 20), min_size=1, max_size=12).map(
+    Counter
+)
+
+
+@given(counters)
+def test_re_of_distribution_with_itself_is_zero(counts):
+    assert relative_entropy(counts, counts) == pytest.approx(0.0, abs=1e-12)
+
+
+@given(counters, st.integers(2, 9))
+def test_re_scale_invariance_in_p(counts, k):
+    scaled = Counter({edge: count * k for edge, count in counts.items()})
+    q = Counter({edge: 1 for edge in counts})
+    assert relative_entropy(counts, q) == pytest.approx(
+        relative_entropy(scaled, q)
+    )
+
+
+@given(counters, counters)
+def test_re_nonnegative_on_shared_support(p_counts, q_counts):
+    merged_q = q_counts + Counter({edge: 1 for edge in p_counts})
+    assert relative_entropy(p_counts, merged_q) >= -1e-12
+
+
+@given(counters, counters)
+def test_re_finite(p_counts, q_counts):
+    value = relative_entropy(p_counts, q_counts)
+    assert value == value  # not NaN
+    assert value < float("inf")
+
+
+# ---------------------------------------------------------------- scripts
+step_pool = st.sampled_from(
+    [
+        "df = df.fillna(df.mean())",
+        "df = df.fillna(df.median())",
+        "df = df.dropna()",
+        "df = df[df['x'] < 80]",
+        "df = pd.get_dummies(df)",
+        "df['y'] = df['x'] * 2",
+        "df = df.drop('z', axis=1)",
+        "df = df.sort_values('x')",
+    ]
+)
+script_bodies = st.lists(step_pool, min_size=0, max_size=6)
+
+
+def build_script(body):
+    return "\n".join(
+        ["import pandas as pd", "df = pd.read_csv('t.csv')"] + body
+    )
+
+
+@given(script_bodies)
+def test_lemmatize_idempotent_on_generated_scripts(body):
+    script = build_script(body)
+    once = lemmatize(script)
+    assert lemmatize(once) == once
+
+
+@given(script_bodies)
+def test_parse_statement_count(body):
+    dag = parse_script(build_script(body))
+    assert len(dag) == len(body) + 2
+
+
+@given(script_bodies)
+def test_dag_source_roundtrip(body):
+    dag = parse_script(build_script(body))
+    again = parse_script(dag.source(), lemmatized=True)
+    assert again.source() == dag.source()
+
+
+@given(script_bodies, step_pool, st.integers(0, 8))
+def test_add_then_delete_roundtrip(body, new_step, position):
+    statements = list(parse_script(build_script(body)).statements)
+    position = min(position, len(statements))
+    position = max(position, 2)  # never before the protected header
+    add = Transformation(
+        kind=ADD, gram=NGRAM, signature=new_step, position=position,
+        statement_source=new_step,
+    )
+    extended = apply_transformation(statements, add)
+    delete = Transformation(
+        kind=DELETE, gram=NGRAM, signature=new_step, position=position
+    )
+    restored = apply_transformation(extended, delete)
+    assert [s.source for s in restored] == [s.source for s in statements]
+    assert [s.index for s in restored] == list(range(len(restored)))
+
+
+@given(script_bodies)
+def test_edges_are_between_existing_statements(body):
+    dag = parse_script(build_script(body))
+    signatures = {s.ngram.signature for s in dag.statements}
+    for edge in dag.inter_edges():
+        assert edge.source in signatures
+        assert edge.target in signatures
+
+
+@given(script_bodies)
+@settings(max_examples=40)
+def test_statement_from_source_matches_parse(body):
+    script = build_script(body)
+    dag = parse_script(script)
+    for stmt in dag.statements:
+        rebuilt = Statement.from_source(stmt.index, stmt.source)
+        assert rebuilt.ngram.signature == stmt.ngram.signature
+        assert {a.signature for a in rebuilt.onegrams} == {
+            a.signature for a in stmt.onegrams
+        }
+
+
+@given(script_bodies)
+def test_compute_edge_counts_matches_dag(body):
+    """Positional edge counting equals ScriptDAG's index-based counting."""
+    from repro.lang import parse_script
+    from repro.lang.parser import compute_edge_counts
+
+    dag = parse_script(build_script(body))
+    assert compute_edge_counts(dag.statements) == dag.edge_counter()
+
+
+@given(script_bodies)
+@settings(max_examples=40)
+def test_marginal_scoring_equals_full_recompute(body):
+    """The Section 5.2 marginal P(x) update must agree with applying the
+    transformation and rescoring from scratch, for every legal step."""
+    from repro.core.beam import BeamSearch
+    from repro.core.config import LSConfig
+    from repro.core.entropy import RelativeEntropyScorer
+    from repro.core.transformations import enumerate_transformations
+    from repro.lang import CorpusVocabulary, parse_script
+
+    corpus = [
+        build_script(["df = df.fillna(df.mean())", "df = pd.get_dummies(df)"]),
+        build_script(["df = df.fillna(df.mean())", "df = df[df['x'] < 80]"]),
+        build_script([]),
+    ]
+    vocab = CorpusVocabulary.from_scripts(corpus)
+    scorer = RelativeEntropyScorer(vocab)
+    search = BeamSearch(vocab, scorer, LSConfig(seq=2, beam_size=1))
+    statements = list(parse_script(build_script(body)).statements)
+
+    for t in enumerate_transformations(statements, vocab)[:12]:
+        marginal = search._projected_score(statements, t)
+        full = scorer.score_statements(apply_transformation(statements, t))
+        assert marginal == pytest.approx(full, abs=1e-12)

@@ -1,0 +1,120 @@
+"""Tests for relative-entropy scoring, including the paper's worked examples."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core import percent_improvement, relative_entropy
+from repro.core.entropy import RelativeEntropyScorer
+from repro.lang import CorpusVocabulary, parse_script
+
+
+class TestPaperWorkedExamples:
+    """Examples 4.2-4.6 of the paper, verbatim.
+
+    V_E' = {(a0,a1): 3, (a1,a2): 3, (a2,a7): 2, (a1,a7): 1}; the input
+    script's edges are [(a0,a1), (a1,a7)].
+    """
+
+    Q = Counter({("a0", "a1"): 3, ("a1", "a2"): 3, ("a2", "a7"): 2, ("a1", "a7"): 1})
+
+    def test_example_4_4_re_is_1_38(self):
+        p = Counter({("a0", "a1"): 1, ("a1", "a7"): 1})
+        assert relative_entropy(p, self.Q) == pytest.approx(1.38, abs=0.01)
+
+    def test_example_4_6_after_best_transformation_re_is_0_2(self):
+        # add a2 between a1 and a7: edges become (a0,a1), (a1,a2), (a2,a7)
+        p = Counter({("a0", "a1"): 1, ("a1", "a2"): 1, ("a2", "a7"): 1})
+        assert relative_entropy(p, self.Q) == pytest.approx(0.2, abs=0.01)
+
+    def test_transformation_reduced_re(self):
+        before = relative_entropy(
+            Counter({("a0", "a1"): 1, ("a1", "a7"): 1}), self.Q
+        )
+        after = relative_entropy(
+            Counter({("a0", "a1"): 1, ("a1", "a2"): 1, ("a2", "a7"): 1}), self.Q
+        )
+        assert after < before
+
+
+class TestRelativeEntropy:
+    def test_identical_distribution_is_zero(self):
+        q = Counter({("a", "b"): 2, ("b", "c"): 2})
+        assert relative_entropy(q, q) == pytest.approx(0.0)
+
+    def test_matching_proportions_is_zero(self):
+        p = Counter({("a", "b"): 1, ("b", "c"): 1})
+        q = Counter({("a", "b"): 10, ("b", "c"): 10})
+        assert relative_entropy(p, q) == pytest.approx(0.0)
+
+    def test_always_nonnegative_on_shared_support(self):
+        p = Counter({("a", "b"): 3, ("b", "c"): 1})
+        q = Counter({("a", "b"): 1, ("b", "c"): 3})
+        assert relative_entropy(p, q) > 0
+
+    def test_oov_edge_is_finite_but_costly(self):
+        q = Counter({("a", "b"): 10})
+        in_vocab = relative_entropy(Counter({("a", "b"): 1}), q)
+        oov = relative_entropy(Counter({("z", "z"): 1}), q)
+        assert oov > in_vocab
+        assert oov < float("inf")
+
+    def test_empty_p_raises(self):
+        with pytest.raises(ValueError):
+            relative_entropy(Counter(), Counter({("a", "b"): 1}))
+
+    def test_empty_q_raises(self):
+        with pytest.raises(ValueError):
+            relative_entropy(Counter({("a", "b"): 1}), Counter())
+
+    def test_bad_epsilon_raises(self):
+        with pytest.raises(ValueError):
+            relative_entropy(
+                Counter({("a", "b"): 1}), Counter({("a", "b"): 1}), epsilon=0.0
+            )
+
+    def test_smaller_epsilon_penalizes_oov_more(self):
+        q = Counter({("a", "b"): 10})
+        p = Counter({("z", "z"): 1})
+        assert relative_entropy(p, q, epsilon=1e-6) > relative_entropy(p, q, epsilon=1e-2)
+
+
+class TestPercentImprovement:
+    def test_positive_improvement(self):
+        assert percent_improvement(2.0, 1.0) == 50.0
+
+    def test_negative_improvement(self):
+        assert percent_improvement(1.0, 2.0) == -100.0
+
+    def test_zero_before_is_zero(self):
+        assert percent_improvement(0.0, 1.0) == 0.0
+
+    def test_no_change_is_zero(self):
+        assert percent_improvement(1.5, 1.5) == 0.0
+
+
+class TestScorer:
+    def test_standard_script_scores_lower(self, diabetes_corpus):
+        vocab = CorpusVocabulary.from_scripts(diabetes_corpus)
+        scorer = RelativeEntropyScorer(vocab)
+        standard = scorer.score_source(diabetes_corpus[0], lemmatized=False)
+        odd = scorer.score_source(
+            "import pandas as pd\n"
+            "df = pd.read_csv('diabetes.csv')\n"
+            "df = df.fillna(df.median())\n"
+            "df = df.sort_values('Age')",
+            lemmatized=False,
+        )
+        assert standard < odd
+
+    def test_score_statements_matches_score_dag(self, diabetes_corpus):
+        vocab = CorpusVocabulary.from_scripts(diabetes_corpus)
+        scorer = RelativeEntropyScorer(vocab)
+        dag = parse_script(diabetes_corpus[0])
+        assert scorer.score_statements(dag.statements) == scorer.score_dag(dag)
+
+    def test_corpus_member_scores_near_zero(self, diabetes_corpus):
+        vocab = CorpusVocabulary.from_scripts(diabetes_corpus)
+        scorer = RelativeEntropyScorer(vocab)
+        # the majority script's edge distribution is close to Q
+        assert scorer.score_source(diabetes_corpus[0], lemmatized=False) < 1.0

@@ -1,0 +1,157 @@
+"""Tests for transformation explanations and intent-threshold exploration
+(the paper's Section 8 extensions)."""
+
+import pytest
+
+from repro.core import (
+    LSConfig,
+    LucidScript,
+    TableJaccardIntent,
+    TradeoffPoint,
+    explain_result,
+    explore_intent_thresholds,
+    pareto_frontier,
+)
+from repro.lang import CorpusVocabulary
+
+
+@pytest.fixture()
+def system(diabetes_corpus, diabetes_dir):
+    return LucidScript(
+        diabetes_corpus,
+        data_dir=diabetes_dir,
+        intent=TableJaccardIntent(tau=0.5),
+        config=LSConfig(seq=8, beam_size=2, sample_rows=150),
+    )
+
+
+class TestExplain:
+    def test_one_explanation_per_transformation(self, system, alex_script):
+        result = system.standardize(alex_script)
+        explanations = explain_result(result, system.vocabulary)
+        assert len(explanations) == len(result.transformations)
+
+    def test_re_chain_is_consistent(self, system, alex_script):
+        result = system.standardize(alex_script)
+        explanations = explain_result(result, system.vocabulary)
+        assert explanations[0].re_before == pytest.approx(result.re_before)
+        assert explanations[-1].re_after == pytest.approx(result.re_after)
+        for previous, current in zip(explanations, explanations[1:]):
+            assert previous.re_after == pytest.approx(current.re_before)
+
+    def test_prevalence_matches_vocabulary(self, system, alex_script):
+        result = system.standardize(alex_script)
+        for explanation in explain_result(result, system.vocabulary):
+            expected = system.vocabulary.statement_frequency(explanation.statement)
+            assert explanation.corpus_prevalence == expected
+
+    def test_majority_add_rationale(self, system, alex_script):
+        result = system.standardize(alex_script)
+        explanations = explain_result(result, system.vocabulary)
+        adds = [e for e in explanations if e.kind == "add"]
+        assert adds, "the Alex script should receive add recommendations"
+        majority = [e for e in adds if e.corpus_prevalence >= 0.5]
+        assert any("majority practice" in e.rationale for e in majority)
+
+    def test_render_contains_evidence(self, system, alex_script):
+        result = system.standardize(alex_script)
+        rendered = explain_result(result, system.vocabulary)[0].render()
+        assert "corpus prevalence" in rendered
+        assert "RE" in rendered
+
+    def test_empty_for_unchanged_script(self, system, diabetes_corpus):
+        result = system.standardize(diabetes_corpus[0])
+        explanations = explain_result(result, system.vocabulary)
+        assert len(explanations) == len(result.transformations)
+
+
+class TestTradeoffPoint:
+    def test_jaccard_preservation_is_similarity(self):
+        point = TradeoffPoint(tau=0.9, improvement=10.0, intent_delta=0.85,
+                              output_script="x = 1")
+        assert point.preservation() == pytest.approx(0.85)
+
+    def test_model_preservation_maps_percent(self):
+        point = TradeoffPoint(tau=5.0, improvement=10.0, intent_delta=3.0,
+                              output_script="x = 1")
+        assert point.preservation() == pytest.approx(0.97)
+
+    def test_none_delta_is_full_preservation(self):
+        point = TradeoffPoint(tau=1.0, improvement=0.0, intent_delta=None,
+                              output_script="x = 1")
+        assert point.preservation() == 1.0
+
+
+class TestExplore:
+    def test_sweep_returns_point_per_threshold(
+        self, diabetes_corpus, diabetes_dir, alex_script
+    ):
+        points = explore_intent_thresholds(
+            diabetes_corpus,
+            alex_script,
+            taus=[1.0, 0.7, 0.4],
+            data_dir=diabetes_dir,
+            config=LSConfig(seq=6, beam_size=2, sample_rows=150),
+        )
+        assert len(points) == 3
+        assert [p.tau for p in points] == [1.0, 0.7, 0.4]
+
+    def test_relaxing_never_reduces_improvement(
+        self, diabetes_corpus, diabetes_dir, alex_script
+    ):
+        points = explore_intent_thresholds(
+            diabetes_corpus,
+            alex_script,
+            taus=[1.0, 0.4],
+            data_dir=diabetes_dir,
+            config=LSConfig(seq=6, beam_size=2, sample_rows=150),
+        )
+        by_tau = {p.tau: p.improvement for p in points}
+        assert by_tau[0.4] >= by_tau[1.0] - 1e-9
+
+    def test_model_kind_requires_target(self, diabetes_corpus, alex_script):
+        with pytest.raises(ValueError):
+            explore_intent_thresholds(
+                diabetes_corpus, alex_script, taus=[1.0], intent_kind="model"
+            )
+
+    def test_unknown_kind_raises(self, diabetes_corpus, diabetes_dir, alex_script):
+        with pytest.raises(ValueError):
+            explore_intent_thresholds(
+                diabetes_corpus, alex_script, taus=[1.0],
+                intent_kind="bogus", data_dir=diabetes_dir,
+            )
+
+
+class TestParetoFrontier:
+    def _point(self, preservation, improvement):
+        return TradeoffPoint(
+            tau=preservation, improvement=improvement,
+            intent_delta=preservation, output_script="x = 1",
+        )
+
+    def test_dominated_points_removed(self):
+        dominated = self._point(0.5, 10.0)
+        dominating = self._point(0.9, 20.0)
+        frontier = pareto_frontier([dominated, dominating])
+        assert frontier == [dominating]
+
+    def test_incomparable_points_kept(self):
+        safe = self._point(0.95, 10.0)
+        aggressive = self._point(0.6, 40.0)
+        frontier = pareto_frontier([safe, aggressive])
+        assert set(id(p) for p in frontier) == {id(safe), id(aggressive)}
+
+    def test_ordered_by_preservation(self):
+        a = self._point(0.95, 10.0)
+        b = self._point(0.6, 40.0)
+        frontier = pareto_frontier([b, a])
+        assert frontier[0].preservation() >= frontier[1].preservation()
+
+    def test_empty_input(self):
+        assert pareto_frontier([]) == []
+
+    def test_ties_are_kept(self):
+        a = self._point(0.9, 10.0)
+        b = self._point(0.9, 10.0)
+        assert len(pareto_frontier([a, b])) == 2

@@ -1,0 +1,99 @@
+"""Tests for semantic operation grouping (Section 6.5 extension)."""
+
+import pytest
+
+from repro.core import (
+    LSConfig,
+    LucidScript,
+    OperationGroups,
+    TableJaccardIntent,
+    group_operations,
+)
+from repro.core.transformations import ADD, enumerate_transformations
+from repro.lang import ONEGRAM, CorpusVocabulary, parse_script
+
+
+@pytest.fixture()
+def vocab(diabetes_corpus):
+    return CorpusVocabulary.from_scripts(diabetes_corpus)
+
+
+class TestGroupOperations:
+    def test_every_atom_assigned(self, vocab):
+        groups = group_operations(vocab, 4)
+        assert set(groups.group_of) == set(vocab.onegram_counts)
+
+    def test_representative_is_member(self, vocab):
+        groups = group_operations(vocab, 4)
+        for group, representative in groups.representatives.items():
+            assert groups.group_of[representative] == group
+
+    def test_representative_is_most_frequent_member(self, vocab):
+        groups = group_operations(vocab, 3)
+        for group in groups.representatives:
+            members = groups.members(group)
+            best = max(members, key=lambda sig: vocab.onegram_counts[sig])
+            assert (
+                vocab.onegram_counts[groups.representatives[group]]
+                == vocab.onegram_counts[best]
+            )
+
+    def test_n_groups_bounded(self, vocab):
+        groups = group_operations(vocab, 1000)
+        assert groups.n_groups <= len(vocab.onegram_counts)
+
+    def test_invalid_n_groups(self, vocab):
+        with pytest.raises(ValueError):
+            group_operations(vocab, 0)
+
+    def test_deterministic(self, vocab):
+        a = group_operations(vocab, 4, random_state=1)
+        b = group_operations(vocab, 4, random_state=1)
+        assert a.group_of == b.group_of
+
+    def test_unknown_signature_has_no_representative(self, vocab):
+        groups = group_operations(vocab, 4)
+        assert groups.representative_for("bogus(x)") is None
+        assert not groups.is_representative("bogus(x)")
+
+
+class TestGroupedEnumeration:
+    def test_reduces_onegram_candidates(self, vocab, alex_script):
+        statements = parse_script(alex_script).statements
+        full = enumerate_transformations(statements, vocab)
+        grouped = enumerate_transformations(
+            statements, vocab, operation_groups=group_operations(vocab, 2)
+        )
+        count = lambda ts: sum(
+            1 for t in ts if t.kind == ADD and t.gram == ONEGRAM
+        )
+        assert count(grouped) <= count(full)
+
+    def test_grouped_adds_are_representatives(self, vocab, alex_script):
+        statements = parse_script(alex_script).statements
+        groups = group_operations(vocab, 2)
+        for t in enumerate_transformations(
+            statements, vocab, operation_groups=groups
+        ):
+            if t.kind == ADD and t.gram == ONEGRAM:
+                assert groups.is_representative(t.signature)
+
+
+class TestGroupedSearch:
+    def test_search_with_grouping_still_improves(
+        self, diabetes_corpus, diabetes_dir, alex_script
+    ):
+        system = LucidScript(
+            diabetes_corpus,
+            data_dir=diabetes_dir,
+            intent=TableJaccardIntent(tau=0.5),
+            config=LSConfig(
+                seq=8, beam_size=2, sample_rows=150, operation_groups=4
+            ),
+        )
+        result = system.standardize(alex_script)
+        assert result.improvement > 0.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            LSConfig(operation_groups=0)

@@ -1,0 +1,148 @@
+"""Tests for the user-intent measures (Section 2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ModelPerformanceIntent,
+    TableJaccardIntent,
+    model_performance_delta,
+    table_jaccard,
+)
+from repro.minipandas import NA, DataFrame
+
+
+class TestTableJaccard:
+    def test_identical_tables_are_one(self):
+        a = DataFrame({"x": [1, 2], "s": ["p", "q"]})
+        assert table_jaccard(a, a.copy()) == 1.0
+
+    def test_disjoint_tables_are_zero(self):
+        a = DataFrame({"x": [1]})
+        b = DataFrame({"x": [2]})
+        assert table_jaccard(a, b) == 0.0
+
+    def test_paper_example_2_1(self):
+        """Lowercasing collapses 5 distinct values to 2 shared ones -> 0.4."""
+        original = DataFrame(
+            {"risk": ["benign", "Benign", "High Risk", "High risk", "high risk"]}
+        )
+        lowered = DataFrame({"risk": ["benign", "high risk"]})
+        assert table_jaccard(original, lowered, mode="values") == pytest.approx(0.4)
+
+    def test_cells_mode_notices_column_renames(self):
+        a = DataFrame({"x": [1]})
+        b = DataFrame({"y": [1]})
+        assert table_jaccard(a, b, mode="cells") == 0.0
+        assert table_jaccard(a, b, mode="values") == 1.0
+
+    def test_rows_mode(self):
+        a = DataFrame({"x": [1, 2], "y": [3, 4]})
+        b = DataFrame({"x": [1, 9], "y": [3, 9]})
+        assert table_jaccard(a, b, mode="rows") == pytest.approx(1 / 3)
+
+    def test_missing_values_compare_equal(self):
+        a = DataFrame({"x": [NA]})
+        b = DataFrame({"x": [NA]})
+        assert table_jaccard(a, b) == 1.0
+
+    def test_empty_tables_are_one(self):
+        assert table_jaccard(DataFrame(), DataFrame()) == 1.0
+
+    def test_row_subset_scales_with_overlap(self):
+        a = DataFrame({"x": list(range(10))})
+        b = DataFrame({"x": list(range(8))})
+        assert table_jaccard(a, b) == pytest.approx(0.8)
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError):
+            table_jaccard(DataFrame({"x": [1]}), DataFrame({"x": [1]}), mode="bogus")
+
+    def test_symmetry(self):
+        a = DataFrame({"x": [1, 2, 3]})
+        b = DataFrame({"x": [2, 3, 4]})
+        assert table_jaccard(a, b) == table_jaccard(b, a)
+
+
+class TestTableJaccardIntent:
+    def test_satisfied_at_threshold(self):
+        intent = TableJaccardIntent(tau=0.5)
+        assert intent.satisfied(0.5)
+        assert intent.satisfied(0.9)
+        assert not intent.satisfied(0.49)
+
+    def test_invalid_tau(self):
+        with pytest.raises(ValueError):
+            TableJaccardIntent(tau=1.5)
+
+    def test_check_returns_delta_and_verdict(self):
+        intent = TableJaccardIntent(tau=0.9)
+        a = DataFrame({"x": [1, 2]})
+        delta, ok = intent.check(a, a.copy())
+        assert delta == 1.0 and ok
+
+    def test_strict_tau_one_requires_identity(self):
+        intent = TableJaccardIntent(tau=1.0)
+        a = DataFrame({"x": [1, 2]})
+        b = DataFrame({"x": [1, 3]})
+        _, ok = intent.check(a, b)
+        assert not ok
+
+
+class TestModelPerformanceDelta:
+    def test_paper_example_2_2(self):
+        assert model_performance_delta(0.65, 0.67) == pytest.approx(3.1, abs=0.05)
+
+    def test_identical_is_zero(self):
+        assert model_performance_delta(0.8, 0.8) == 0.0
+
+    def test_absolute_value(self):
+        assert model_performance_delta(0.8, 0.4) == pytest.approx(
+            model_performance_delta(0.8, 1.2)
+        )
+
+    def test_zero_original(self):
+        assert model_performance_delta(0.0, 0.0) == 0.0
+        assert model_performance_delta(0.0, 0.5) == 100.0
+
+
+class TestModelPerformanceIntent:
+    @pytest.fixture()
+    def frame(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(0, 1, 300)
+        y = (x + rng.normal(0, 0.3, 300) > 0).astype(int)
+        return DataFrame({"x": x.tolist(), "Outcome": y.tolist()})
+
+    def test_same_data_is_within_any_tau(self, frame):
+        intent = ModelPerformanceIntent(target="Outcome", tau=0.0)
+        delta, ok = intent.check(frame, frame.copy())
+        assert delta == 0.0 and ok
+
+    def test_label_shuffle_violates_tight_tau(self, frame):
+        rng = np.random.default_rng(1)
+        shuffled = frame.copy()
+        labels = shuffled["Outcome"].tolist()
+        rng.shuffle(labels)
+        shuffled["Outcome"] = labels
+        delta, ok = ModelPerformanceIntent(target="Outcome", tau=1.0).check(
+            frame, shuffled
+        )
+        assert delta > 1.0
+        assert not ok
+
+    def test_candidate_missing_target_fails(self, frame):
+        broken = frame.drop("Outcome", axis=1)
+        delta, ok = ModelPerformanceIntent(target="Outcome", tau=5.0).check(
+            frame, broken
+        )
+        assert delta == 100.0
+        assert not ok
+
+    def test_negative_tau_rejected(self):
+        with pytest.raises(ValueError):
+            ModelPerformanceIntent(target="y", tau=-1.0)
+
+    def test_accuracy_helper(self, frame):
+        acc = ModelPerformanceIntent(target="Outcome").accuracy(frame)
+        assert 0.5 < acc <= 1.0

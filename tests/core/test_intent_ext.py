@@ -1,0 +1,130 @@
+"""Tests for the Section 8 extension intent measures."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BagOfOperationsIntent,
+    FairnessIntent,
+    demographic_parity_difference,
+)
+from repro.minipandas import NA, DataFrame
+
+
+class TestBagOfOperations:
+    def test_identical_scripts_similarity_one(self, alex_script):
+        intent = BagOfOperationsIntent(tau=0.7)
+        assert intent.delta_scripts(alex_script, alex_script) == pytest.approx(1.0)
+
+    def test_unrelated_scripts_low_similarity(self):
+        intent = BagOfOperationsIntent()
+        a = "import pandas as pd\ndf = pd.read_csv('a.csv')\ndf = df.dropna()"
+        b = "import pandas as pd\ndf = pd.read_csv('a.csv')\ndf = df.sort_values('x')\ndf = df[df['y'] > 1]"
+        similarity = intent.delta_scripts(a, b)
+        assert similarity < intent.delta_scripts(a, a)
+
+    def test_small_edit_keeps_high_similarity(self, alex_script):
+        intent = BagOfOperationsIntent()
+        edited = alex_script + "\ndf = df.dropna()"
+        assert intent.delta_scripts(alex_script, edited) > 0.8
+
+    def test_broken_candidate_scores_zero(self, alex_script):
+        assert BagOfOperationsIntent().delta_scripts(alex_script, "x ===") == 0.0
+
+    def test_satisfied_threshold(self):
+        intent = BagOfOperationsIntent(tau=0.7)
+        assert intent.satisfied(0.7)
+        assert not intent.satisfied(0.69)
+
+    def test_invalid_tau(self):
+        with pytest.raises(ValueError):
+            BagOfOperationsIntent(tau=2.0)
+
+    def test_table_delta_rejected(self):
+        with pytest.raises(TypeError):
+            BagOfOperationsIntent().delta(DataFrame(), DataFrame())
+
+    def test_empty_scripts_similarity_one(self):
+        assert BagOfOperationsIntent().delta_scripts("", "") == 1.0
+
+
+def make_biased_frame(n=400, bias=2.0, seed=0):
+    """Binary outcome strongly driven by group membership when bias > 0."""
+    rng = np.random.default_rng(seed)
+    group = rng.choice(["a", "b"], size=n)
+    x = rng.normal(0, 1, n)
+    logits = x + bias * (group == "a") - bias / 2
+    y = (logits + rng.normal(0, 0.2, n) > 0).astype(int)
+    return DataFrame({"x": x.tolist(), "group": group.tolist(), "y": y.tolist()})
+
+
+class TestDemographicParity:
+    def test_biased_data_has_high_dp(self):
+        dp = demographic_parity_difference(make_biased_frame(bias=3.0), "y", "group")
+        assert dp > 0.3
+
+    def test_unbiased_data_has_low_dp(self):
+        dp = demographic_parity_difference(make_biased_frame(bias=0.0), "y", "group")
+        assert dp < 0.25
+
+    def test_missing_sensitive_column_raises(self):
+        from repro.ml import DownstreamEvaluationError
+
+        with pytest.raises(DownstreamEvaluationError):
+            demographic_parity_difference(make_biased_frame(), "y", "nope")
+
+    def test_all_missing_sensitive_raises(self):
+        from repro.ml import DownstreamEvaluationError
+
+        frame = make_biased_frame(50)
+        frame["group"] = [None] * 50
+        with pytest.raises(DownstreamEvaluationError):
+            demographic_parity_difference(frame, "y", "group")
+
+    def test_single_class_target_is_zero(self):
+        frame = make_biased_frame(60)
+        frame["y"] = 1
+        assert demographic_parity_difference(frame, "y", "group") == 0.0
+
+    def test_deterministic(self):
+        frame = make_biased_frame()
+        a = demographic_parity_difference(frame, "y", "group")
+        b = demographic_parity_difference(frame, "y", "group")
+        assert a == b
+
+
+class TestFairnessIntent:
+    def test_same_data_satisfies(self):
+        frame = make_biased_frame()
+        intent = FairnessIntent(target="y", sensitive="group", tau=0.05)
+        delta, ok = intent.check(frame, frame.copy())
+        assert delta == pytest.approx(0.0)
+        assert ok
+
+    def test_bias_amplification_violates(self):
+        base = make_biased_frame(bias=0.0, seed=1)
+        amplified = make_biased_frame(bias=3.0, seed=1)
+        intent = FairnessIntent(target="y", sensitive="group", tau=0.05)
+        delta, ok = intent.check(base, amplified)
+        assert delta > 0.05
+        assert not ok
+
+    def test_fairer_candidate_always_satisfies(self):
+        biased = make_biased_frame(bias=3.0, seed=2)
+        fair = make_biased_frame(bias=0.0, seed=2)
+        intent = FairnessIntent(target="y", sensitive="group", tau=0.0)
+        delta, ok = intent.check(biased, fair)
+        assert delta <= 0.0
+        assert ok
+
+    def test_candidate_without_columns_fails(self):
+        frame = make_biased_frame()
+        broken = frame.drop("group", axis=1)
+        intent = FairnessIntent(target="y", sensitive="group", tau=0.5)
+        delta, ok = intent.check(frame, broken)
+        assert delta == 1.0
+        assert not ok
+
+    def test_negative_tau_rejected(self):
+        with pytest.raises(ValueError):
+            FairnessIntent(target="y", sensitive="g", tau=-0.1)

@@ -1,0 +1,105 @@
+"""Tests for target-leakage injection and detection (Section 6.6)."""
+
+import numpy as np
+import pytest
+
+from repro.core import LSConfig, LucidScript, TableJaccardIntent, detect_target_leakage
+from repro.workloads import inject_target_leakage, leakage_snippets_for
+
+
+class TestInjection:
+    def test_snippet_family(self):
+        snippets = leakage_snippets_for("Outcome")
+        assert len(snippets) == 3
+        assert any("Outcome_copy" in s for s in snippets)
+
+    def test_feature_column_adds_target_encoding(self):
+        snippets = leakage_snippets_for("Outcome", feature_column="Age")
+        assert any("groupby('Age')['Outcome']" in s for s in snippets)
+
+    def test_injects_before_split_tail(self, rng):
+        script = (
+            "import pandas as pd\n"
+            "df = pd.read_csv('train.csv')\n"
+            "y = df['Outcome']\n"
+            "X = df.drop('Outcome', axis=1)"
+        )
+        injected, snippets = inject_target_leakage(script, "Outcome", rng)
+        lines = injected.splitlines()
+        snippet_line = snippets[0].splitlines()[0]
+        assert lines.index(snippet_line) < lines.index("y = df['Outcome']")
+
+    def test_injects_at_end_without_tail(self, rng):
+        script = (
+            "import pandas as pd\n"
+            "df = pd.read_csv('train.csv')\n"
+            "df = df[df['Outcome'] >= 0]"
+        )
+        injected, snippets = inject_target_leakage(script, "Outcome", rng)
+        assert injected.splitlines()[-1] in snippets[0].splitlines()
+
+    def test_requires_target_reference(self, rng):
+        with pytest.raises(ValueError):
+            inject_target_leakage("import pandas as pd\nx = 1", "Outcome", rng)
+
+    def test_variable_substitution(self, rng):
+        script = (
+            "import pandas as pd\n"
+            "train = pd.read_csv('train.csv')\n"
+            "y = train['Outcome']"
+        )
+        injected, snippets = inject_target_leakage(script, "Outcome", rng)
+        assert "df[" not in injected
+        assert "train[" in snippets[0]
+
+    def test_deterministic_given_rng(self):
+        script = (
+            "import pandas as pd\n"
+            "df = pd.read_csv('train.csv')\n"
+            "y = df['Outcome']"
+        )
+        a = inject_target_leakage(script, "Outcome", np.random.default_rng(5))
+        b = inject_target_leakage(script, "Outcome", np.random.default_rng(5))
+        assert a == b
+
+
+class TestDetection:
+    @pytest.fixture()
+    def system(self, diabetes_corpus, diabetes_dir):
+        return LucidScript(
+            diabetes_corpus,
+            data_dir=diabetes_dir,
+            intent=TableJaccardIntent(tau=0.7),
+            config=LSConfig(seq=8, beam_size=2, sample_rows=150),
+        )
+
+    def test_detects_copy_leakage(self, system, diabetes_corpus, rng):
+        script, snippets = inject_target_leakage(
+            diabetes_corpus[0] + "\ny = df['Outcome']", "Outcome", rng
+        )
+        detection = detect_target_leakage(system, script, snippets)
+        assert detection.detected
+        assert detection.recall == 1.0
+        assert not detection.missed_ground_truth
+
+    def test_requires_snippets(self, system, diabetes_corpus):
+        with pytest.raises(ValueError):
+            detect_target_leakage(system, diabetes_corpus[0], [])
+
+    def test_unexecutable_script_not_detected(self, system):
+        detection = detect_target_leakage(
+            system,
+            "import pandas as pd\ndf = pd.read_csv('missing_file.csv')\ndf['Outcome_copy'] = df['Outcome']",
+            ["df['Outcome_copy'] = df['Outcome']"],
+        )
+        assert not detection.detected
+        assert detection.result is None
+        assert detection.recall == 0.0
+
+    def test_detection_result_carries_standardization(self, system, diabetes_corpus, rng):
+        script, snippets = inject_target_leakage(
+            diabetes_corpus[0] + "\ny = df['Outcome']", "Outcome", rng
+        )
+        detection = detect_target_leakage(system, script, snippets)
+        assert detection.result is not None
+        assert detection.result.improvement >= 0.0

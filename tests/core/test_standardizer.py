@@ -1,0 +1,151 @@
+"""Integration tests for the LucidScript facade (Definition 4.5 end to end)."""
+
+import pytest
+
+from repro.core import (
+    LSConfig,
+    LucidScript,
+    ModelPerformanceIntent,
+    StandardizationError,
+    TableJaccardIntent,
+)
+from repro.lang import lemmatize
+
+
+@pytest.fixture()
+def system(diabetes_corpus, diabetes_dir):
+    return LucidScript(
+        diabetes_corpus,
+        data_dir=diabetes_dir,
+        intent=TableJaccardIntent(tau=0.5),
+        config=LSConfig(seq=8, beam_size=2, sample_rows=150),
+    )
+
+
+class TestStandardize:
+    def test_improves_alex_script(self, system, alex_script):
+        result = system.standardize(alex_script)
+        assert result.re_after <= result.re_before
+        assert result.improvement >= 0.0
+
+    def test_adds_common_corpus_steps(self, system, alex_script):
+        result = system.standardize(alex_script)
+        added = result.added_statements()
+        assert "df = df[df['SkinThickness'] < 80]" in added or \
+               "df = df.fillna(df.mean())" in added
+
+    def test_output_is_executable(self, system, alex_script, diabetes_dir):
+        from repro.sandbox import check_executes
+
+        result = system.standardize(alex_script)
+        assert check_executes(result.output_script, data_dir=diabetes_dir)
+
+    def test_intent_constraint_reported_satisfied(self, system, alex_script):
+        result = system.standardize(alex_script)
+        assert result.intent_satisfied
+        assert result.intent_delta >= 0.5
+
+    def test_sequence_length_constraint(self, diabetes_corpus, diabetes_dir, alex_script):
+        system = LucidScript(
+            diabetes_corpus,
+            data_dir=diabetes_dir,
+            config=LSConfig(seq=2, beam_size=2, sample_rows=150),
+        )
+        result = system.standardize(alex_script)
+        assert len(result.transformations) <= 2
+
+    def test_corpus_member_needs_no_change(self, diabetes_corpus, diabetes_dir):
+        system = LucidScript(
+            diabetes_corpus[1:],
+            data_dir=diabetes_dir,
+            intent=TableJaccardIntent(tau=0.9),
+            config=LSConfig(seq=4, beam_size=2, sample_rows=150),
+        )
+        result = system.standardize(diabetes_corpus[0])
+        # already the majority script: little or nothing to improve
+        assert result.improvement >= 0.0
+
+    def test_input_must_execute(self, system):
+        with pytest.raises(StandardizationError):
+            system.standardize(
+                "import pandas as pd\ndf = pd.read_csv('no_such_file_anywhere.csv')"
+            )
+
+    def test_input_must_have_statements(self, diabetes_corpus, diabetes_dir):
+        system = LucidScript(diabetes_corpus, data_dir=diabetes_dir)
+        with pytest.raises(StandardizationError):
+            system.standardize("")
+
+    def test_input_lemmatized_in_result(self, system):
+        result = system.standardize(
+            "import pandas as pd\n"
+            'train = pd.read_csv("diabetes.csv")\n'
+            "train = train.fillna(train.median())"
+        )
+        assert "df = pd.read_csv('diabetes.csv')" in result.input_script
+        assert "train" not in result.input_script
+
+    def test_strict_tau_limits_changes(self, diabetes_corpus, diabetes_dir, alex_script):
+        strict = LucidScript(
+            diabetes_corpus,
+            data_dir=diabetes_dir,
+            intent=TableJaccardIntent(tau=1.0),
+            config=LSConfig(seq=8, beam_size=2, sample_rows=150),
+        )
+        relaxed = LucidScript(
+            diabetes_corpus,
+            data_dir=diabetes_dir,
+            intent=TableJaccardIntent(tau=0.3),
+            config=LSConfig(seq=8, beam_size=2, sample_rows=150),
+        )
+        strict_result = strict.standardize(alex_script)
+        relaxed_result = relaxed.standardize(alex_script)
+        assert relaxed_result.improvement >= strict_result.improvement - 1e-9
+
+    def test_no_intent_measure_still_works(self, diabetes_corpus, diabetes_dir, alex_script):
+        system = LucidScript(
+            diabetes_corpus,
+            data_dir=diabetes_dir,
+            intent=None,
+            config=LSConfig(seq=6, beam_size=2, sample_rows=150),
+        )
+        result = system.standardize(alex_script)
+        assert result.intent_delta is None
+        assert result.intent_satisfied
+
+    def test_model_performance_intent(self, diabetes_corpus, diabetes_dir, alex_script):
+        system = LucidScript(
+            diabetes_corpus,
+            data_dir=diabetes_dir,
+            intent=ModelPerformanceIntent(target="Outcome", tau=5.0),
+            config=LSConfig(seq=4, beam_size=1, sample_rows=150),
+        )
+        result = system.standardize(alex_script)
+        assert result.intent_satisfied
+        assert result.improvement >= 0.0
+
+    def test_score_method(self, system, alex_script, diabetes_corpus):
+        assert system.score(alex_script) > system.score(diabetes_corpus[0])
+
+
+class TestStandardizationResult:
+    def test_removed_added_statements(self, system, alex_script):
+        result = system.standardize(alex_script)
+        input_lines = result.input_script.splitlines()
+        for line in result.removed_statements():
+            assert line in input_lines
+        for line in result.added_statements():
+            assert line in result.output_script.splitlines()
+
+    def test_changed_flag(self, system, alex_script):
+        result = system.standardize(alex_script)
+        assert result.changed == (result.output_script != result.input_script)
+
+    def test_summary_mentions_re(self, system, alex_script):
+        summary = system.standardize(alex_script).summary()
+        assert "RE:" in summary and "improvement" in summary
+
+    def test_stats_breakdown_keys(self, system, alex_script):
+        result = system.standardize(alex_script)
+        assert "VerifyConstraints" in result.stats.breakdown()
+        assert result.stats.verify_constraints_s > 0

@@ -1,0 +1,183 @@
+"""Tests for transformation configuration and application (Def. 3.4, Sec 5.2)."""
+
+import pytest
+
+from repro.core import Transformation, apply_transformation, enumerate_transformations
+from repro.core.transformations import ADD, DELETE
+from repro.lang import NGRAM, ONEGRAM, CorpusVocabulary, ScriptError, parse_script
+
+
+@pytest.fixture()
+def vocab(diabetes_corpus):
+    return CorpusVocabulary.from_scripts(diabetes_corpus)
+
+
+@pytest.fixture()
+def statements(alex_script):
+    return parse_script(alex_script).statements
+
+
+class TestTransformationDataclass:
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            Transformation(kind="edit", gram=NGRAM, signature="x", position=0)
+
+    def test_add_requires_source(self):
+        with pytest.raises(ValueError):
+            Transformation(kind=ADD, gram=NGRAM, signature="x", position=0)
+
+    def test_negative_position(self):
+        with pytest.raises(ValueError):
+            Transformation(kind=DELETE, gram=NGRAM, signature="x", position=-1)
+
+    def test_describe(self):
+        t = Transformation(kind=DELETE, gram=NGRAM, signature="df = df.dropna()", position=2)
+        assert "delete line 2" in t.describe()
+        t2 = Transformation(
+            kind=ADD, gram=NGRAM, signature="s", position=1, statement_source="df = df.dropna()"
+        )
+        assert "add at line 1" in t2.describe()
+
+
+class TestApply:
+    def test_delete_removes_statement(self, statements):
+        t = Transformation(kind=DELETE, gram=NGRAM, signature="x", position=2)
+        out = apply_transformation(statements, t)
+        assert len(out) == len(statements) - 1
+        assert all(s.index == i for i, s in enumerate(out))
+
+    def test_delete_protected_raises(self, statements):
+        t = Transformation(kind=DELETE, gram=NGRAM, signature="x", position=0)
+        with pytest.raises(ScriptError):
+            apply_transformation(statements, t)
+
+    def test_delete_read_csv_raises(self, statements):
+        t = Transformation(kind=DELETE, gram=NGRAM, signature="x", position=1)
+        with pytest.raises(ScriptError):
+            apply_transformation(statements, t)
+
+    def test_delete_out_of_range(self, statements):
+        t = Transformation(kind=DELETE, gram=NGRAM, signature="x", position=99)
+        with pytest.raises(IndexError):
+            apply_transformation(statements, t)
+
+    def test_add_inserts_at_position(self, statements):
+        t = Transformation(
+            kind=ADD, gram=NGRAM, signature="df = df.dropna()",
+            position=2, statement_source="df = df.dropna()",
+        )
+        out = apply_transformation(statements, t)
+        assert out[2].source == "df = df.dropna()"
+        assert len(out) == len(statements) + 1
+
+    def test_add_at_end(self, statements):
+        t = Transformation(
+            kind=ADD, gram=NGRAM, signature="x = 1", position=len(statements),
+            statement_source="x = 1",
+        )
+        out = apply_transformation(statements, t)
+        assert out[-1].source == "x = 1"
+
+    def test_add_out_of_range(self, statements):
+        t = Transformation(
+            kind=ADD, gram=NGRAM, signature="x = 1", position=99, statement_source="x = 1"
+        )
+        with pytest.raises(IndexError):
+            apply_transformation(statements, t)
+
+    def test_original_untouched(self, statements):
+        before = [s.source for s in statements]
+        t = Transformation(kind=DELETE, gram=NGRAM, signature="x", position=2)
+        apply_transformation(statements, t)
+        assert [s.source for s in statements] == before
+
+    def test_renumbering_after_add(self, statements):
+        t = Transformation(
+            kind=ADD, gram=NGRAM, signature="x = 1", position=1, statement_source="x = 1"
+        )
+        out = apply_transformation(statements, t)
+        assert [s.index for s in out] == list(range(len(out)))
+
+
+class TestEnumerate:
+    def test_includes_deletes_of_unprotected(self, statements, vocab):
+        ts = enumerate_transformations(statements, vocab)
+        deletes = [t for t in ts if t.kind == DELETE]
+        positions = {t.position for t in deletes}
+        assert 2 in positions and 3 in positions
+        assert 0 not in positions and 1 not in positions
+
+    def test_includes_corpus_successor_adds(self, statements, vocab):
+        ts = enumerate_transformations(statements, vocab)
+        adds = [t for t in ts if t.kind == ADD and t.gram == NGRAM]
+        sources = {t.statement_source for t in adds}
+        assert "df = df.fillna(df.mean())" in sources
+
+    def test_successor_adds_chain_across_steps(self, statements, vocab):
+        """The SkinThickness filter only follows fillna(mean) in the corpus,
+        so it becomes addable after fillna(mean) is inserted."""
+        first = next(
+            t
+            for t in enumerate_transformations(statements, vocab)
+            if t.kind == ADD and t.statement_source == "df = df.fillna(df.mean())"
+        )
+        extended = apply_transformation(statements, first)
+        sources = {
+            t.statement_source
+            for t in enumerate_transformations(extended, vocab)
+            if t.kind == ADD
+        }
+        assert "df = df[df['SkinThickness'] < 80]" in sources
+
+    def test_no_duplicate_adds_of_present_statements(self, statements, vocab):
+        ts = enumerate_transformations(statements, vocab)
+        present = {s.ngram.signature for s in statements}
+        for t in ts:
+            if t.kind == ADD and t.gram == NGRAM:
+                assert t.signature not in present
+
+    def test_monotonicity_frontier_filters_adds(self, statements, vocab):
+        ts = enumerate_transformations(statements, vocab, frontier=3)
+        for t in ts:
+            if t.kind == ADD:
+                assert t.position >= 3
+
+    def test_deletes_ignore_frontier(self, statements, vocab):
+        ts = enumerate_transformations(statements, vocab, frontier=3)
+        delete_positions = {t.position for t in ts if t.kind == DELETE}
+        assert 2 in delete_positions  # before the frontier, still deletable
+
+    def test_forbidden_adds_respected(self, statements, vocab):
+        blocked = "df = df.fillna(df.mean())"
+        ts = enumerate_transformations(
+            statements, vocab, forbidden_adds={blocked}
+        )
+        assert all(t.statement_source != blocked for t in ts if t.kind == ADD)
+
+    def test_forbidden_deletes_respected(self, statements, vocab):
+        blocked = statements[2].ngram.signature
+        ts = enumerate_transformations(
+            statements, vocab, forbidden_deletes={blocked}
+        )
+        assert all(t.signature != blocked for t in ts if t.kind == DELETE)
+
+    def test_onegram_adds_capped(self, statements, vocab):
+        ts = enumerate_transformations(statements, vocab, max_onegram_adds=2)
+        onegram_adds = [t for t in ts if t.kind == ADD and t.gram == ONEGRAM]
+        assert len(onegram_adds) <= 2
+
+    def test_onegram_adds_render_to_statements(self, statements, vocab):
+        ts = enumerate_transformations(statements, vocab)
+        for t in ts:
+            if t.kind == ADD:
+                # must parse as a single statement
+                import ast
+
+                parsed = ast.parse(t.statement_source)
+                assert len(parsed.body) == 1
+
+    def test_all_candidates_applicable(self, statements, vocab):
+        """Every enumerated transformation must apply without error."""
+        for t in enumerate_transformations(statements, vocab):
+            out = apply_transformation(statements, t)
+            assert len(out) in (len(statements) - 1, len(statements) + 1)

@@ -1,0 +1,99 @@
+"""Tests for notebook-to-script extraction."""
+
+import json
+
+import pytest
+
+from repro.lang import (
+    lemmatize,
+    script_from_notebook,
+    scripts_from_notebook_dir,
+)
+
+
+def make_notebook(*cell_sources, cell_type="code"):
+    return {
+        "cells": [
+            {"cell_type": cell_type, "source": source.splitlines(keepends=True)}
+            for source in cell_sources
+        ],
+        "nbformat": 4,
+    }
+
+
+class TestScriptFromNotebook:
+    def test_concatenates_code_cells(self):
+        nb = make_notebook(
+            "import pandas as pd\ndf = pd.read_csv('t.csv')",
+            "df = df.dropna()",
+        )
+        script = script_from_notebook(nb)
+        assert script.splitlines() == [
+            "import pandas as pd",
+            "df = pd.read_csv('t.csv')",
+            "df = df.dropna()",
+        ]
+
+    def test_markdown_cells_skipped(self):
+        nb = make_notebook("x = 1")
+        nb["cells"].insert(
+            0, {"cell_type": "markdown", "source": ["# My analysis\n"]}
+        )
+        assert script_from_notebook(nb) == "x = 1"
+
+    def test_magics_dropped(self):
+        nb = make_notebook("%matplotlib inline\n!pip install pandas\nx = 1")
+        assert script_from_notebook(nb) == "x = 1"
+
+    def test_display_tail_dropped(self):
+        nb = make_notebook("df = 1\ndf")
+        assert script_from_notebook(nb) == "df = 1"
+
+    def test_head_call_dropped(self):
+        nb = make_notebook("import pandas as pd\ndf = pd.read_csv('t.csv')\ndf.head()")
+        assert "head" not in script_from_notebook(nb)
+
+    def test_used_head_call_kept(self):
+        nb = make_notebook("import pandas as pd\ndf = pd.read_csv('t.csv')\ntop = df.head(5)")
+        assert "top = df.head(5)" in script_from_notebook(nb)
+
+    def test_string_source_cells(self):
+        nb = {"cells": [{"cell_type": "code", "source": "x = 1\ny = 2"}]}
+        assert script_from_notebook(nb) == "x = 1\ny = 2"
+
+    def test_broken_cells_skipped(self):
+        nb = make_notebook("x = 1", "this is not python (", "y = 2")
+        assert script_from_notebook(nb) == "x = 1\ny = 2"
+
+    def test_no_code_cells_raises(self):
+        nb = {"cells": [{"cell_type": "markdown", "source": ["hi"]}]}
+        with pytest.raises(ValueError):
+            script_from_notebook(nb)
+
+    def test_from_path(self, tmp_path):
+        path = tmp_path / "nb.ipynb"
+        path.write_text(json.dumps(make_notebook("x = 1")))
+        assert script_from_notebook(str(path)) == "x = 1"
+
+    def test_output_is_lemmatizable(self):
+        nb = make_notebook(
+            "import pandas as pd",
+            "%time\ntrain = pd.read_csv('t.csv')\ntrain.head()",
+            "train = train.dropna()",
+        )
+        normalized = lemmatize(script_from_notebook(nb))
+        assert "df = df.dropna()" in normalized
+
+
+class TestDirectoryHelper:
+    def test_reads_many_and_skips_bad(self, tmp_path):
+        good = tmp_path / "a.ipynb"
+        good.write_text(json.dumps(make_notebook("x = 1")))
+        broken = tmp_path / "b.ipynb"
+        broken.write_text("{not json")
+        codeless = tmp_path / "c.ipynb"
+        codeless.write_text(json.dumps({"cells": []}))
+        scripts = scripts_from_notebook_dir(
+            [str(good), str(broken), str(codeless), str(tmp_path / "missing.ipynb")]
+        )
+        assert scripts == ["x = 1"]

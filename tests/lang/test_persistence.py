@@ -1,0 +1,96 @@
+"""Tests for curated-search-space persistence."""
+
+import json
+
+import pytest
+
+from repro.core.entropy import RelativeEntropyScorer
+from repro.lang import (
+    CorpusVocabulary,
+    load_vocabulary,
+    parse_script,
+    save_vocabulary,
+    vocabulary_from_dict,
+    vocabulary_to_dict,
+)
+
+
+@pytest.fixture()
+def vocab(diabetes_corpus):
+    return CorpusVocabulary.from_scripts(diabetes_corpus)
+
+
+class TestRoundtrip:
+    def test_edge_counts_preserved(self, vocab, tmp_path):
+        path = str(tmp_path / "v.json")
+        save_vocabulary(vocab, path)
+        restored = load_vocabulary(path)
+        assert restored.edge_counts == vocab.edge_counts
+        assert restored.total_edges == vocab.total_edges
+
+    def test_atom_counts_preserved(self, vocab, tmp_path):
+        path = str(tmp_path / "v.json")
+        save_vocabulary(vocab, path)
+        restored = load_vocabulary(path)
+        assert restored.onegram_counts == vocab.onegram_counts
+        assert restored.ngram_counts == vocab.ngram_counts
+
+    def test_stats_preserved(self, vocab, tmp_path):
+        path = str(tmp_path / "v.json")
+        save_vocabulary(vocab, path)
+        restored = load_vocabulary(path)
+        assert restored.stats() == vocab.stats()
+        assert restored.n_scripts == vocab.n_scripts
+
+    def test_successors_preserved(self, vocab, tmp_path):
+        path = str(tmp_path / "v.json")
+        save_vocabulary(vocab, path)
+        restored = load_vocabulary(path)
+        key = "df = df.fillna(df.mean())"
+        assert restored.ngram_successors(key) == vocab.ngram_successors(key)
+
+    def test_statement_frequency_preserved(self, vocab, tmp_path):
+        path = str(tmp_path / "v.json")
+        save_vocabulary(vocab, path)
+        restored = load_vocabulary(path)
+        sig = "df = df[df['SkinThickness'] < 80]"
+        assert restored.statement_frequency(sig) == vocab.statement_frequency(sig)
+        assert restored.statement_frequency("df = df.bogus()") == 0.0
+
+    def test_templates_and_positions_preserved(self, vocab, tmp_path):
+        path = str(tmp_path / "v.json")
+        save_vocabulary(vocab, path)
+        restored = load_vocabulary(path)
+        assert restored.onegram_templates == vocab.onegram_templates
+        assert restored.relative_positions == vocab.relative_positions
+
+    def test_scoring_identical_after_restore(self, vocab, tmp_path, alex_script):
+        path = str(tmp_path / "v.json")
+        save_vocabulary(vocab, path)
+        restored = load_vocabulary(path)
+        dag = parse_script(alex_script)
+        assert RelativeEntropyScorer(restored).score_dag(dag) == pytest.approx(
+            RelativeEntropyScorer(vocab).score_dag(dag)
+        )
+
+    def test_file_is_json(self, vocab, tmp_path):
+        path = str(tmp_path / "v.json")
+        save_vocabulary(vocab, path)
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["format_version"] == 1
+
+    def test_dict_roundtrip_without_disk(self, vocab):
+        restored = vocabulary_from_dict(vocabulary_to_dict(vocab))
+        assert restored.edge_counts == vocab.edge_counts
+
+    def test_wrong_version_rejected(self, vocab):
+        payload = vocabulary_to_dict(vocab)
+        payload["format_version"] = 99
+        with pytest.raises(ValueError):
+            vocabulary_from_dict(payload)
+
+    def test_epsilon_preserved(self, vocab, tmp_path):
+        path = str(tmp_path / "v.json")
+        save_vocabulary(vocab, path)
+        assert load_vocabulary(path).epsilon == vocab.epsilon

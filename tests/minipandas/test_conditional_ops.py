@@ -1,0 +1,127 @@
+"""Tests for where/mask/combine_first/to_frame and frame-level helpers,
+plus extra merge/groupby hypothesis properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+import repro.minipandas as pd
+from repro.minipandas import NA, DataFrame, Series, is_missing
+
+
+class TestWhereMask:
+    def test_where_keeps_matching(self):
+        s = Series([1, 2, 3, 4])
+        out = s.where(s > 2)
+        assert is_missing(out.iloc[0]) and is_missing(out.iloc[1])
+        assert out.iloc[2:].tolist() == [3, 4]
+
+    def test_where_with_scalar_other(self):
+        s = Series([1, 2, 3])
+        assert s.where(s > 1, 0).tolist() == [0, 2, 3]
+
+    def test_where_with_series_other(self):
+        s = Series([1, 2, 3])
+        other = Series([10, 20, 30])
+        assert s.where(s > 2, other).tolist() == [10, 20, 3]
+
+    def test_mask_is_inverse(self):
+        s = Series([1, 2, 3])
+        assert s.mask(s > 1, 0).tolist() == [1, 0, 0]
+
+    def test_where_alignment_by_label(self):
+        s = Series([1, 2], index=["a", "b"])
+        condition = Series([True], index=["b"])
+        out = s.where(condition, 0)
+        assert out["a"] == 0 and out["b"] == 2
+
+    def test_outlier_capping_idiom(self):
+        s = Series([1.0, 2.0, 100.0])
+        capped = s.mask(s > 10, 10)
+        assert capped.tolist() == [1.0, 2.0, 10]
+
+
+class TestCombineFirst:
+    def test_fills_missing_from_other(self):
+        a = Series([1.0, NA, 3.0])
+        b = Series([9.0, 2.0, 9.0])
+        assert a.combine_first(b).tolist() == [1.0, 2.0, 3.0]
+
+    def test_missing_in_both_stays_missing(self):
+        a = Series([NA])
+        b = Series([NA])
+        assert is_missing(a.combine_first(b).iloc[0])
+
+    def test_label_alignment(self):
+        a = Series([NA, 1.0], index=["x", "y"])
+        b = Series([5.0], index=["x"])
+        out = a.combine_first(b)
+        assert out["x"] == 5.0 and out["y"] == 1.0
+
+
+class TestToFrame:
+    def test_uses_series_name(self):
+        frame = Series([1, 2], name="v").to_frame()
+        assert frame.columns == ["v"]
+        assert frame["v"].tolist() == [1, 2]
+
+    def test_explicit_name(self):
+        assert Series([1], name="v").to_frame("w").columns == ["w"]
+
+    def test_preserves_index(self):
+        frame = Series([1], index=["r"], name="v").to_frame()
+        assert frame.index.tolist() == ["r"]
+
+
+class TestFrameHelpers:
+    def test_add_prefix_suffix(self):
+        frame = DataFrame({"a": [1], "b": [2]})
+        assert frame.add_prefix("x_").columns == ["x_a", "x_b"]
+        assert frame.add_suffix("_y").columns == ["a_y", "b_y"]
+
+    def test_frame_isin(self):
+        frame = DataFrame({"a": [1, 2], "b": [2, 3]})
+        out = frame.isin([2])
+        assert out["a"].tolist() == [False, True]
+        assert out["b"].tolist() == [True, False]
+
+
+# ------------------------------------------------------- extra properties
+keys = st.lists(st.sampled_from(["a", "b", "c", "d"]), min_size=1, max_size=15)
+
+
+@given(keys, keys)
+def test_inner_join_is_subset_of_left_join(left_keys, right_keys):
+    left = DataFrame({"k": left_keys, "v": list(range(len(left_keys)))})
+    right = DataFrame({"k": right_keys, "w": list(range(len(right_keys)))})
+    inner = pd.merge(left, right, on="k", how="inner")
+    left_join = pd.merge(left, right, on="k", how="left")
+    assert len(inner) <= len(left_join)
+    # left join covers every left row at least once
+    assert len(left_join) >= len(left)
+
+
+@given(keys, keys)
+def test_outer_join_covers_both_key_sets(left_keys, right_keys):
+    left = DataFrame({"k": left_keys, "v": list(range(len(left_keys)))})
+    right = DataFrame({"k": right_keys, "w": list(range(len(right_keys)))})
+    outer = pd.merge(left, right, on="k", how="outer")
+    assert set(left_keys) | set(right_keys) <= set(outer["k"].tolist())
+
+
+@given(keys)
+def test_groupby_mean_within_group_bounds(group_keys):
+    frame = DataFrame({"k": group_keys, "v": list(range(len(group_keys)))})
+    means = frame.groupby("k")["v"].mean()
+    mins = frame.groupby("k")["v"].min()
+    maxes = frame.groupby("k")["v"].max()
+    for key in means.index:
+        assert mins[key] - 1e-9 <= means[key] <= maxes[key] + 1e-9
+
+
+@given(st.lists(st.integers(-50, 50), min_size=1, max_size=25))
+def test_where_mask_partition(values):
+    s = Series(values)
+    condition = s > 0
+    recombined = s.where(condition, 0) + s.mask(condition, 0)
+    assert recombined.tolist() == [v if v > 0 else v for v in values]

@@ -1,0 +1,488 @@
+"""Unit tests for minipandas DataFrame."""
+
+import numpy as np
+import pytest
+
+from repro.minipandas import NA, DataFrame, Series, is_missing
+
+
+@pytest.fixture()
+def df():
+    return DataFrame(
+        {
+            "a": [1, 2, 3, 4],
+            "b": [10.0, NA, 30.0, 40.0],
+            "c": ["x", "y", "x", None],
+        }
+    )
+
+
+class TestConstruction:
+    def test_from_dict(self, df):
+        assert df.shape == (4, 3)
+        assert df.columns == ["a", "b", "c"]
+
+    def test_from_list_of_dicts(self):
+        out = DataFrame([{"a": 1, "b": 2}, {"a": 3}])
+        assert out.shape == (2, 2)
+        assert is_missing(out["b"].iloc[1])
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            DataFrame({"a": [1], "b": [1, 2]})
+
+    def test_empty(self):
+        out = DataFrame()
+        assert out.empty
+        assert out.shape == (0, 0)
+
+    def test_from_series_values(self):
+        out = DataFrame({"a": Series([1, 2])})
+        assert out["a"].tolist() == [1, 2]
+
+    def test_column_order_argument(self):
+        out = DataFrame({"a": [1], "b": [2]}, columns=["b", "a"])
+        assert out.columns == ["b", "a"]
+
+    def test_from_dataframe_copies(self, df):
+        clone = DataFrame(df)
+        clone["a"] = 0
+        assert df["a"].tolist() == [1, 2, 3, 4]
+
+    def test_custom_index(self):
+        out = DataFrame({"a": [1, 2]}, index=["r1", "r2"])
+        assert out.index.tolist() == ["r1", "r2"]
+
+    def test_dtypes(self, df):
+        assert df.dtypes["a"] == "int64"
+        assert df.dtypes["b"] == "float64"
+        assert df.dtypes["c"] == "object"
+
+    def test_unsupported_data_type(self):
+        with pytest.raises(TypeError):
+            DataFrame(42)
+
+
+class TestSelection:
+    def test_column(self, df):
+        assert df["a"].tolist() == [1, 2, 3, 4]
+        assert df["a"].name == "a"
+
+    def test_missing_column_raises(self, df):
+        with pytest.raises(KeyError):
+            df["zzz"]
+
+    def test_column_list(self, df):
+        out = df[["c", "a"]]
+        assert out.columns == ["c", "a"]
+        assert out.shape == (4, 2)
+
+    def test_column_list_missing_raises(self, df):
+        with pytest.raises(KeyError):
+            df[["a", "zzz"]]
+
+    def test_boolean_mask(self, df):
+        out = df[df["a"] > 2]
+        assert out["a"].tolist() == [3, 4]
+        assert out.index.tolist() == [2, 3]
+
+    def test_mask_with_missing_drops_row(self, df):
+        out = df[df["b"] > 0]
+        assert out["a"].tolist() == [1, 3, 4]
+
+    def test_python_bool_list_mask(self, df):
+        out = df[[True, False, True, False]]
+        assert out["a"].tolist() == [1, 3]
+
+    def test_contains(self, df):
+        assert "a" in df
+        assert "zzz" not in df
+
+    def test_head_tail(self, df):
+        assert df.head(2)["a"].tolist() == [1, 2]
+        assert df.tail(1)["a"].tolist() == [4]
+
+    def test_slice_getitem(self, df):
+        assert df[1:3]["a"].tolist() == [2, 3]
+
+    def test_select_dtypes_number(self, df):
+        assert df.select_dtypes(include="number").columns == ["a", "b"]
+
+    def test_select_dtypes_exclude(self, df):
+        assert df.select_dtypes(exclude="object").columns == ["a", "b"]
+
+    def test_get_with_default(self, df):
+        assert df.get("zzz") is None
+        assert df.get("a").tolist() == [1, 2, 3, 4]
+
+
+class TestAssignment:
+    def test_scalar_broadcast(self, df):
+        df["d"] = 7
+        assert df["d"].tolist() == [7, 7, 7, 7]
+
+    def test_list_assignment(self, df):
+        df["d"] = [1, 2, 3, 4]
+        assert df["d"].tolist() == [1, 2, 3, 4]
+
+    def test_list_wrong_length_raises(self, df):
+        with pytest.raises(ValueError):
+            df["d"] = [1, 2]
+
+    def test_series_aligns_by_label(self, df):
+        filtered = df[df["a"] > 2]["a"]
+        df["d"] = filtered
+        assert is_missing(df["d"].iloc[0])
+        assert df["d"].iloc[2] == 3
+
+    def test_derived_column(self, df):
+        df["sum"] = df["a"] + df["b"]
+        assert df["sum"].iloc[0] == 11.0
+        assert is_missing(df["sum"].iloc[1])
+
+    def test_overwrite_keeps_position(self, df):
+        df["a"] = 0
+        assert df.columns == ["a", "b", "c"]
+
+    def test_delitem(self, df):
+        del df["b"]
+        assert df.columns == ["a", "c"]
+        with pytest.raises(KeyError):
+            del df["b"]
+
+    def test_pop(self, df):
+        s = df.pop("a")
+        assert s.tolist() == [1, 2, 3, 4]
+        assert "a" not in df
+
+    def test_insert(self, df):
+        df.insert(0, "z", 1)
+        assert df.columns[0] == "z"
+        with pytest.raises(ValueError):
+            df.insert(0, "z", 2)
+
+    def test_assign(self, df):
+        out = df.assign(e=lambda d: d["a"] * 2)
+        assert out["e"].tolist() == [2, 4, 6, 8]
+        assert "e" not in df
+
+
+class TestMissingData:
+    def test_isnull_shape(self, df):
+        nulls = df.isnull()
+        assert nulls.shape == df.shape
+        assert nulls["b"].tolist() == [False, True, False, False]
+
+    def test_fillna_scalar(self, df):
+        out = df.fillna(0)
+        assert out["b"].iloc[1] == 0
+        assert out["c"].iloc[3] == 0
+
+    def test_fillna_dict(self, df):
+        out = df.fillna({"b": -1})
+        assert out["b"].iloc[1] == -1
+        assert is_missing(out["c"].iloc[3])
+
+    def test_fillna_series_of_column_stats(self, df):
+        out = df.fillna(df.mean())
+        assert out["b"].iloc[1] == pytest.approx((10 + 30 + 40) / 3)
+        # object column has no mean -> untouched
+        assert is_missing(out["c"].iloc[3])
+
+    def test_dropna_any(self, df):
+        assert df.dropna().shape == (2, 3)
+
+    def test_dropna_subset(self, df):
+        assert df.dropna(subset=["b"]).shape == (3, 3)
+
+    def test_dropna_subset_missing_col_raises(self, df):
+        with pytest.raises(KeyError):
+            df.dropna(subset=["zzz"])
+
+    def test_dropna_how_all(self):
+        frame = DataFrame({"a": [NA, 1.0], "b": [NA, NA]})
+        assert frame.dropna(how="all").shape == (1, 2)
+
+    def test_dropna_thresh(self, df):
+        assert df.dropna(thresh=3).shape == (2, 3)
+
+    def test_dropna_axis_1(self, df):
+        out = df.dropna(axis=1)
+        assert out.columns == ["a"]
+
+    def test_dropna_invalid_how(self, df):
+        with pytest.raises(ValueError):
+            df.dropna(how="bogus")
+
+
+class TestReductions:
+    def test_mean_numeric_only(self, df):
+        m = df.mean()
+        assert m.index.tolist() == ["a", "b"]
+        assert m["a"] == 2.5
+
+    def test_median(self, df):
+        assert df.median()["a"] == 2.5
+
+    def test_sum(self, df):
+        assert df.sum()["a"] == 10
+
+    def test_min_max(self, df):
+        assert df.min(numeric_only=True)["a"] == 1
+        assert df.max(numeric_only=True)["b"] == 40.0
+
+    def test_count(self, df):
+        c = df.count()
+        assert c["a"] == 4
+        assert c["b"] == 3
+        assert c["c"] == 3
+
+    def test_nunique(self, df):
+        assert df.nunique()["c"] == 2
+
+    def test_mode_pads_with_na(self):
+        frame = DataFrame({"a": [1, 1, 2], "b": [1, 2, 3]})
+        modes = frame.mode()
+        assert modes["a"].iloc[0] == 1
+        assert len(modes) == 3
+
+    def test_quantile(self, df):
+        assert df.quantile(0.0)["a"] == 1.0
+
+    def test_describe_shape(self, df):
+        d = df.describe()
+        assert d.columns == ["a", "b"]
+        assert len(d) == 8
+
+    def test_corr_diagonal(self, df):
+        c = df.corr()
+        assert c["a"].iloc[0] == 1.0
+
+
+class TestDrop:
+    def test_drop_column_str(self, df):
+        assert df.drop("b", axis=1).columns == ["a", "c"]
+
+    def test_drop_column_list(self, df):
+        assert df.drop(["a", "c"], axis=1).columns == ["b"]
+
+    def test_drop_columns_kwarg(self, df):
+        assert df.drop(columns=["a"]).columns == ["b", "c"]
+
+    def test_drop_missing_raises(self, df):
+        with pytest.raises(KeyError):
+            df.drop("zzz", axis=1)
+
+    def test_drop_missing_ignore(self, df):
+        assert df.drop("zzz", axis=1, errors="ignore").shape == (4, 3)
+
+    def test_drop_rows_by_label(self, df):
+        out = df.drop([0, 2], axis=0)
+        assert out["a"].tolist() == [2, 4]
+
+    def test_drop_index_kwarg(self, df):
+        assert len(df.drop(index=[0])) == 3
+
+    def test_drop_no_labels_raises(self, df):
+        with pytest.raises(TypeError):
+            df.drop()
+
+    def test_drop_does_not_mutate(self, df):
+        df.drop("a", axis=1)
+        assert "a" in df.columns
+
+
+class TestDeduplication:
+    def test_duplicated(self):
+        frame = DataFrame({"a": [1, 1, 2], "b": ["x", "x", "y"]})
+        assert frame.duplicated().tolist() == [False, True, False]
+
+    def test_duplicated_subset(self):
+        frame = DataFrame({"a": [1, 1], "b": ["x", "y"]})
+        assert frame.duplicated(subset=["a"]).tolist() == [False, True]
+
+    def test_drop_duplicates(self):
+        frame = DataFrame({"a": [1, 1, 2]})
+        assert drop_len(frame) == 2
+
+
+def drop_len(frame):
+    return len(frame.drop_duplicates())
+
+
+class TestLocILoc:
+    def test_loc_mask(self, df):
+        out = df.loc[df["a"] > 2]
+        assert out["a"].tolist() == [3, 4]
+
+    def test_loc_mask_and_column(self, df):
+        out = df.loc[df["a"] > 2, "a"]
+        assert out.tolist() == [3, 4]
+
+    def test_loc_labels(self, df):
+        out = df.loc[[1, 3]]
+        assert out["a"].tolist() == [2, 4]
+
+    def test_loc_single_label_row(self, df):
+        row = df.loc[2]
+        assert row["a"] == 3
+        assert row.index.tolist() == ["a", "b", "c"]
+
+    def test_loc_missing_label_raises(self, df):
+        with pytest.raises(KeyError):
+            df.loc[[99]]
+
+    def test_loc_set_scalar_on_labels(self, df):
+        df.loc[[0, 1], "a"] = 0
+        assert df["a"].tolist() == [0, 0, 3, 4]
+
+    def test_loc_set_on_mask(self, df):
+        df.loc[df["a"] > 2, "a"] = -1
+        assert df["a"].tolist() == [1, 2, -1, -1]
+
+    def test_loc_set_creates_column(self, df):
+        df.loc[[0], "new"] = 5
+        assert df["new"].iloc[0] == 5
+        assert is_missing(df["new"].iloc[1])
+
+    def test_loc_set_full_slice(self, df):
+        df.loc[:, "a"] = 9
+        assert df["a"].tolist() == [9, 9, 9, 9]
+
+    def test_loc_set_from_sampled_index(self, df):
+        picked = df.sample(2, random_state=0).index
+        df.loc[picked, "a"] = 0
+        assert df["a"].tolist().count(0) == 2
+
+    def test_iloc_row(self, df):
+        row = df.iloc[0]
+        assert row["a"] == 1
+
+    def test_iloc_negative(self, df):
+        assert df.iloc[-1]["a"] == 4
+
+    def test_iloc_out_of_bounds(self, df):
+        with pytest.raises(IndexError):
+            df.iloc[10]
+
+    def test_iloc_slice(self, df):
+        assert df.iloc[1:3]["a"].tolist() == [2, 3]
+
+    def test_iloc_row_col(self, df):
+        assert df.iloc[0, 0] == 1
+
+    def test_iloc_list(self, df):
+        assert df.iloc[[0, 3]]["a"].tolist() == [1, 4]
+
+
+class TestApply:
+    def test_apply_columnwise_scalar(self, df):
+        out = df[["a"]].apply(lambda col: col.max())
+        assert out["a"] == 4
+
+    def test_apply_columnwise_series(self, df):
+        out = df[["a"]].apply(lambda col: col + 1)
+        assert out["a"].tolist() == [2, 3, 4, 5]
+
+    def test_apply_rowwise(self, df):
+        out = df.apply(lambda row: row["a"] * 2, axis=1)
+        assert out.tolist() == [2, 4, 6, 8]
+
+    def test_applymap(self, df):
+        out = df[["a"]].applymap(lambda v: v * 10)
+        assert out["a"].tolist() == [10, 20, 30, 40]
+
+
+class TestSortReshape:
+    def test_sort_values(self, df):
+        out = df.sort_values("a", ascending=False)
+        assert out["a"].tolist() == [4, 3, 2, 1]
+
+    def test_sort_missing_last(self, df):
+        out = df.sort_values("b")
+        assert is_missing(out["b"].iloc[3])
+
+    def test_sort_multi_key(self):
+        frame = DataFrame({"a": [1, 1, 0], "b": [2, 1, 5]})
+        out = frame.sort_values(["a", "b"])
+        assert out["b"].tolist() == [5, 1, 2]
+
+    def test_sort_missing_col_raises(self, df):
+        with pytest.raises(KeyError):
+            df.sort_values("zzz")
+
+    def test_reset_index_drop(self, df):
+        out = df[df["a"] > 2].reset_index()
+        assert out.index.tolist() == [0, 1]
+
+    def test_reset_index_keep(self, df):
+        out = df[df["a"] > 2].reset_index(drop=False)
+        assert out["index"].tolist() == [2, 3]
+
+    def test_set_index(self, df):
+        out = df.set_index("c")
+        assert "c" not in out.columns
+        assert out.index.tolist()[0] == "x"
+
+    def test_transpose_roundtrip_shape(self, df):
+        assert df.T.shape == (3, 4)
+
+    def test_rename(self, df):
+        out = df.rename(columns={"a": "alpha"})
+        assert out.columns == ["alpha", "b", "c"]
+        assert "a" in df.columns
+
+    def test_astype_dict(self, df):
+        out = df.astype({"a": float})
+        assert out.dtypes["a"] == "float64"
+        assert out.dtypes["c"] == "object"
+
+
+class TestIteration:
+    def test_iter_gives_columns(self, df):
+        assert list(df) == ["a", "b", "c"]
+
+    def test_iterrows(self, df):
+        rows = list(df.iterrows())
+        assert rows[0][0] == 0
+        assert rows[0][1]["a"] == 1
+
+    def test_itertuples(self, df):
+        first = next(iter(df.itertuples()))
+        assert first[0] == 0
+        assert first[1] == 1
+
+
+class TestSampleCopy:
+    def test_sample_deterministic(self, df):
+        a = df.sample(2, random_state=1)["a"].tolist()
+        b = df.sample(2, random_state=1)["a"].tolist()
+        assert a == b
+
+    def test_sample_preserves_labels(self, df):
+        out = df.sample(2, random_state=0)
+        for label in out.index:
+            assert label in df.index
+
+    def test_copy_independent(self, df):
+        c = df.copy()
+        c["a"] = 0
+        assert df["a"].tolist() == [1, 2, 3, 4]
+
+    def test_values_shape(self, df):
+        assert df.values.shape == (4, 3)
+
+    def test_numeric_values_dtype(self, df):
+        assert df[["a", "b"]].values.dtype == np.float64
+
+    def test_to_dict_list(self, df):
+        d = df.to_dict()
+        assert d["a"] == [1, 2, 3, 4]
+
+    def test_to_dict_records(self, df):
+        records = df.to_dict(orient="records")
+        assert records[0]["a"] == 1
+
+    def test_append(self, df):
+        out = df.append(df)
+        assert len(out) == 8

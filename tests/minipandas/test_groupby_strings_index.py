@@ -1,0 +1,213 @@
+"""Tests for GroupBy, the .str accessor, and Index."""
+
+import pytest
+
+from repro.minipandas import NA, DataFrame, Index, Series, is_missing
+
+
+@pytest.fixture()
+def sales():
+    return DataFrame(
+        {
+            "shop": ["a", "a", "b", "b", "b"],
+            "region": ["n", "s", "n", "n", "s"],
+            "amount": [10.0, 20.0, 30.0, NA, 50.0],
+            "units": [1, 2, 3, 4, 5],
+        }
+    )
+
+
+class TestGroupBy:
+    def test_single_column_mean(self, sales):
+        out = sales.groupby("shop")["amount"].mean()
+        assert out["a"] == 15.0
+        assert out["b"] == 40.0
+
+    def test_sum_count(self, sales):
+        assert sales.groupby("shop")["units"].sum().tolist() == [3.0, 12.0]
+        assert sales.groupby("shop")["amount"].count().tolist() == [2, 2]
+
+    def test_min_max(self, sales):
+        g = sales.groupby("shop")["units"]
+        assert g.min().tolist() == [1, 3]
+        assert g.max().tolist() == [2, 5]
+
+    def test_median_std(self, sales):
+        g = sales.groupby("shop")["units"]
+        assert g.median().tolist() == [1.5, 4.0]
+        assert g.std()["a"] == pytest.approx(0.7071, abs=1e-3)
+
+    def test_nunique(self, sales):
+        assert sales.groupby("shop")["region"].nunique().tolist() == [2, 2]
+
+    def test_frame_level_mean(self, sales):
+        out = sales.groupby("shop").mean()
+        assert out.columns == ["amount", "units"]
+        assert out["units"].tolist() == [1.5, 4.0]
+
+    def test_agg_string(self, sales):
+        out = sales.groupby("shop").agg("sum")
+        assert out["units"].tolist() == [3.0, 12.0]
+
+    def test_agg_dict(self, sales):
+        out = sales.groupby("shop").agg({"units": "max"})
+        assert out["units"].tolist() == [2, 5]
+
+    def test_agg_invalid_raises(self, sales):
+        with pytest.raises(ValueError):
+            sales.groupby("shop").agg("bogus")
+
+    def test_size(self, sales):
+        assert sales.groupby("shop").size().tolist() == [2, 3]
+
+    def test_ngroups(self, sales):
+        assert sales.groupby("shop").ngroups() == 2
+
+    def test_multi_key(self, sales):
+        out = sales.groupby(["shop", "region"]).size()
+        assert out[("b", "n")] == 2
+
+    def test_transform_broadcasts(self, sales):
+        out = sales.groupby("shop")["units"].transform("mean")
+        assert out.tolist() == [1.5, 1.5, 4.0, 4.0, 4.0]
+
+    def test_transform_invalid_raises(self, sales):
+        with pytest.raises(ValueError):
+            sales.groupby("shop")["units"].transform("bogus")
+
+    def test_na_group_keys_dropped(self):
+        frame = DataFrame({"k": ["a", None], "v": [1, 2]})
+        assert frame.groupby("k").ngroups() == 1
+
+    def test_unknown_group_column_raises(self, sales):
+        with pytest.raises(KeyError):
+            sales.groupby("zzz")
+
+    def test_unknown_value_column_raises(self, sales):
+        with pytest.raises(KeyError):
+            sales.groupby("shop")["zzz"]
+
+    def test_groups_positions(self, sales):
+        groups = sales.groupby("shop").groups
+        assert groups["a"] == [0, 1]
+
+
+class TestStringAccessor:
+    def test_lower_upper(self):
+        s = Series(["Ab", "cD"])
+        assert s.str.lower().tolist() == ["ab", "cd"]
+        assert s.str.upper().tolist() == ["AB", "CD"]
+
+    def test_strip_variants(self):
+        s = Series(["  x  "])
+        assert s.str.strip().tolist() == ["x"]
+        assert s.str.lstrip().tolist() == ["x  "]
+        assert s.str.rstrip().tolist() == ["  x"]
+
+    def test_len(self):
+        assert Series(["ab", "abc"]).str.len().tolist() == [2, 3]
+
+    def test_missing_passthrough(self):
+        out = Series(["a", None]).str.upper()
+        assert out.iloc[0] == "A"
+        assert is_missing(out.iloc[1])
+
+    def test_non_string_raises(self):
+        with pytest.raises(AttributeError):
+            Series([1]).str.lower()
+
+    def test_contains_regex(self):
+        assert Series(["cat", "dog"]).str.contains("^c").tolist() == [True, False]
+
+    def test_contains_literal(self):
+        assert Series(["a.b", "ab"]).str.contains(".", regex=False).tolist() == [True, False]
+
+    def test_contains_case_insensitive(self):
+        assert Series(["ABC"]).str.contains("abc", case=False).tolist() == [True]
+
+    def test_startswith_endswith(self):
+        s = Series(["apple", "banana"])
+        assert s.str.startswith("a").tolist() == [True, False]
+        assert s.str.endswith("a").tolist() == [False, True]
+
+    def test_replace_regex(self):
+        assert Series(["a1b2"]).str.replace(r"\d", "#").tolist() == ["a#b#"]
+
+    def test_replace_literal(self):
+        assert Series(["a.b"]).str.replace(".", "-", regex=False).tolist() == ["a-b"]
+
+    def test_split_get(self):
+        s = Series(["a,b,c"])
+        assert s.str.split(",").iloc[0] == ["a", "b", "c"]
+        assert Series(["abc"]).str.get(1).tolist() == ["b"]
+
+    def test_get_out_of_range_is_missing(self):
+        assert is_missing(Series(["a"]).str.get(5).iloc[0])
+
+    def test_slice(self):
+        assert Series(["abcdef"]).str.slice(1, 3).tolist() == ["bc"]
+
+    def test_extract(self):
+        assert Series(["id-42"]).str.extract(r"id-(\d+)").tolist() == ["42"]
+
+    def test_extract_no_match_is_missing(self):
+        assert is_missing(Series(["xyz"]).str.extract(r"(\d+)").iloc[0])
+
+    def test_extract_requires_one_group(self):
+        with pytest.raises(ValueError):
+            Series(["x"]).str.extract(r"(\d)(\d)")
+
+    def test_title_capitalize(self):
+        assert Series(["hello world"]).str.title().tolist() == ["Hello World"]
+        assert Series(["hello"]).str.capitalize().tolist() == ["Hello"]
+
+    def test_zfill_isdigit_isalpha(self):
+        assert Series(["7"]).str.zfill(3).tolist() == ["007"]
+        assert Series(["12", "ab"]).str.isdigit().tolist() == [True, False]
+        assert Series(["12", "ab"]).str.isalpha().tolist() == [False, True]
+
+
+class TestIndex:
+    def test_len_iter_contains(self):
+        idx = Index(["a", "b"])
+        assert len(idx) == 2
+        assert list(idx) == ["a", "b"]
+        assert "a" in idx and "z" not in idx
+
+    def test_get_loc(self):
+        assert Index(["x", "y"]).get_loc("y") == 1
+
+    def test_get_loc_missing_raises(self):
+        with pytest.raises(KeyError):
+            Index(["x"]).get_loc("z")
+
+    def test_get_loc_first_duplicate(self):
+        assert Index(["a", "a"]).get_loc("a") == 0
+
+    def test_positions_for(self):
+        assert Index(["a", "b", "c"]).positions_for(["c", "a"]) == [2, 0]
+
+    def test_positions_for_missing_raises(self):
+        with pytest.raises(KeyError):
+            Index(["a"]).positions_for(["z"])
+
+    def test_getitem_scalar_and_slice(self):
+        idx = Index([10, 20, 30])
+        assert idx[1] == 20
+        assert idx[0:2].tolist() == [10, 20]
+
+    def test_equality(self):
+        assert Index([1, 2]) == Index([1, 2])
+        assert Index([1, 2]) == [1, 2]
+        assert not (Index([1]) == Index([2]))
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Index([1]))
+
+    def test_is_unique(self):
+        assert Index([1, 2]).is_unique()
+        assert not Index([1, 1]).is_unique()
+
+    def test_take(self):
+        assert Index(["a", "b", "c"]).take([2, 0]).tolist() == ["c", "a"]

@@ -1,0 +1,308 @@
+"""Tests for CSV I/O and module-level table operations."""
+
+import io
+
+import pytest
+
+import repro.minipandas as pd
+from repro.minipandas import NA, DataFrame, Series, is_missing
+from repro.minipandas.ops import melt, pivot_table
+
+
+class TestReadCsv:
+    def test_basic_types(self):
+        frame = pd.read_csv(io.StringIO("a,b,c\n1,1.5,x\n2,2.5,y\n"))
+        assert frame.dtypes.tolist() == ["int64", "float64", "object"]
+
+    def test_int_with_missing_promotes_to_float(self):
+        frame = pd.read_csv(io.StringIO("a\n1\n\n3\n"))
+        assert frame.dtypes["a"] == "float64"
+        assert is_missing(frame["a"].iloc[1])
+
+    def test_na_sentinels(self):
+        frame = pd.read_csv(io.StringIO("a\nNA\nNaN\nnull\nN/A\n1\n"))
+        assert frame["a"].count() == 1
+
+    def test_object_missing_is_none(self):
+        frame = pd.read_csv(io.StringIO("a\nx\n\n"))
+        assert frame["a"].iloc[1] is None
+
+    def test_bool_column(self):
+        frame = pd.read_csv(io.StringIO("a\nTrue\nFalse\n"))
+        assert frame.dtypes["a"] == "bool"
+        assert frame["a"].tolist() == [True, False]
+
+    def test_negative_and_signed_ints(self):
+        frame = pd.read_csv(io.StringIO("a\n-3\n+4\n"))
+        assert frame["a"].tolist() == [-3, 4]
+
+    def test_scientific_floats(self):
+        frame = pd.read_csv(io.StringIO("a\n1e3\n2.5e-1\n"))
+        assert frame["a"].tolist() == [1000.0, 0.25]
+
+    def test_usecols(self):
+        frame = pd.read_csv(io.StringIO("a,b\n1,2\n"), usecols=["b"])
+        assert frame.columns == ["b"]
+
+    def test_nrows(self):
+        frame = pd.read_csv(io.StringIO("a\n1\n2\n3\n"), nrows=2)
+        assert len(frame) == 2
+
+    def test_index_col(self):
+        frame = pd.read_csv(io.StringIO("id,a\nr1,1\nr2,2\n"), index_col="id")
+        assert frame.index.tolist() == ["r1", "r2"]
+        assert frame.columns == ["a"]
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            pd.read_csv(io.StringIO(""))
+
+    def test_short_row_padded_with_missing(self):
+        frame = pd.read_csv(io.StringIO("a,b\n1\n"))
+        assert is_missing(frame["b"].iloc[0])
+
+    def test_roundtrip_through_file(self, tmp_path):
+        original = DataFrame({"x": [1, 2], "y": ["a", None], "z": [1.5, NA]})
+        path = str(tmp_path / "t.csv")
+        original.to_csv(path)
+        back = pd.read_csv(path)
+        assert back["x"].tolist() == [1, 2]
+        assert back["y"].iloc[1] is None
+        assert is_missing(back["z"].iloc[1])
+
+    def test_roundtrip_with_index(self, tmp_path):
+        original = DataFrame({"x": [1]}, index=["r"])
+        path = str(tmp_path / "t.csv")
+        original.to_csv(path, index=True)
+        back = pd.read_csv(path, index_col="index")
+        assert back.index.tolist() == ["r"]
+
+    def test_missing_file_raises(self):
+        with pytest.raises(FileNotFoundError):
+            pd.read_csv("/nonexistent/file.csv")
+
+
+class TestGetDummies:
+    def test_encodes_object_columns_by_default(self):
+        frame = DataFrame({"n": [1, 2], "s": ["a", "b"]})
+        out = pd.get_dummies(frame)
+        assert sorted(out.columns) == ["n", "s_a", "s_b"]
+        assert out["s_a"].tolist() == [1, 0]
+
+    def test_explicit_columns(self):
+        frame = DataFrame({"s": ["a", "b"], "t": ["x", "y"]})
+        out = pd.get_dummies(frame, columns=["s"])
+        assert "t" in out.columns
+        assert "s_a" in out.columns
+
+    def test_missing_column_raises(self):
+        with pytest.raises(KeyError):
+            pd.get_dummies(DataFrame({"a": [1]}), columns=["zzz"])
+
+    def test_missing_values_encode_to_zero(self):
+        out = pd.get_dummies(DataFrame({"s": ["a", None]}))
+        assert out["s_a"].tolist() == [1, 0]
+
+    def test_drop_first(self):
+        out = pd.get_dummies(DataFrame({"s": ["a", "b", "c"]}), drop_first=True)
+        assert sorted(out.columns) == ["s_b", "s_c"]
+
+    def test_prefix(self):
+        out = pd.get_dummies(DataFrame({"s": ["a"]}), prefix="P")
+        assert out.columns == ["P_a"]
+
+    def test_series_input(self):
+        out = pd.get_dummies(Series(["a", "b"], name="s"))
+        assert sorted(out.columns) == ["s_a", "s_b"]
+
+    def test_numeric_frame_is_untouched(self):
+        frame = DataFrame({"a": [1, 2]})
+        out = pd.get_dummies(frame)
+        assert out.columns == ["a"]
+
+    def test_preserves_index(self):
+        frame = DataFrame({"s": ["a", "b"]}, index=[5, 9])
+        assert pd.get_dummies(frame).index.tolist() == [5, 9]
+
+
+class TestConcat:
+    def test_vertical(self):
+        a = DataFrame({"x": [1]})
+        b = DataFrame({"x": [2]})
+        out = pd.concat([a, b], ignore_index=True)
+        assert out["x"].tolist() == [1, 2]
+        assert out.index.tolist() == [0, 1]
+
+    def test_vertical_union_of_columns(self):
+        a = DataFrame({"x": [1]})
+        b = DataFrame({"y": [2]})
+        out = pd.concat([a, b], ignore_index=True)
+        assert is_missing(out["y"].iloc[0])
+        assert is_missing(out["x"].iloc[1])
+
+    def test_horizontal(self):
+        a = DataFrame({"x": [1, 2]})
+        b = DataFrame({"y": [3, 4]})
+        out = pd.concat([a, b], axis=1)
+        assert out.columns == ["x", "y"]
+
+    def test_horizontal_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            pd.concat([DataFrame({"x": [1]}), DataFrame({"y": [1, 2]})], axis=1)
+
+    def test_horizontal_name_collision_renamed(self):
+        a = DataFrame({"x": [1]})
+        b = DataFrame({"x": [2]})
+        out = pd.concat([a, b], axis=1)
+        assert out.columns == ["x", "x_1"]
+
+    def test_empty_list_raises(self):
+        with pytest.raises(ValueError):
+            pd.concat([])
+
+    def test_series_members(self):
+        out = pd.concat([Series([1], name="s"), Series([2], name="s")], ignore_index=True)
+        assert out["s"].tolist() == [1, 2]
+
+
+class TestMerge:
+    def test_inner(self):
+        left = DataFrame({"k": ["a", "b"], "v": [1, 2]})
+        right = DataFrame({"k": ["b", "c"], "w": [3, 4]})
+        out = pd.merge(left, right, on="k")
+        assert out["k"].tolist() == ["b"]
+        assert out["v"].tolist() == [2]
+        assert out["w"].tolist() == [3]
+
+    def test_left(self):
+        left = DataFrame({"k": ["a", "b"], "v": [1, 2]})
+        right = DataFrame({"k": ["b"], "w": [3]})
+        out = pd.merge(left, right, on="k", how="left")
+        assert out["k"].tolist() == ["a", "b"]
+        assert is_missing(out["w"].iloc[0])
+
+    def test_outer(self):
+        left = DataFrame({"k": ["a"], "v": [1]})
+        right = DataFrame({"k": ["b"], "w": [2]})
+        out = pd.merge(left, right, on="k", how="outer")
+        assert sorted(out["k"].tolist()) == ["a", "b"]
+
+    def test_one_to_many(self):
+        left = DataFrame({"k": ["a"], "v": [1]})
+        right = DataFrame({"k": ["a", "a"], "w": [1, 2]})
+        assert len(pd.merge(left, right, on="k")) == 2
+
+    def test_suffixes(self):
+        left = DataFrame({"k": ["a"], "v": [1]})
+        right = DataFrame({"k": ["a"], "v": [2]})
+        out = pd.merge(left, right, on="k")
+        assert "v_x" in out.columns and "v_y" in out.columns
+
+    def test_left_on_right_on(self):
+        left = DataFrame({"lk": ["a"], "v": [1]})
+        right = DataFrame({"rk": ["a"], "w": [2]})
+        out = pd.merge(left, right, left_on="lk", right_on="rk")
+        assert len(out) == 1
+
+    def test_infers_shared_columns(self):
+        left = DataFrame({"k": ["a"], "v": [1]})
+        right = DataFrame({"k": ["a"], "w": [2]})
+        assert len(pd.merge(left, right)) == 1
+
+    def test_no_common_columns_raises(self):
+        with pytest.raises(ValueError):
+            pd.merge(DataFrame({"a": [1]}), DataFrame({"b": [1]}))
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            pd.merge(DataFrame({"a": [1]}), DataFrame({"a": [1]}), on="zzz")
+
+    def test_na_keys_do_not_match(self):
+        left = DataFrame({"k": [None], "v": [1]})
+        right = DataFrame({"k": [None], "w": [2]})
+        assert len(pd.merge(left, right, on="k")) == 0
+
+    def test_method_form(self):
+        left = DataFrame({"k": ["a"], "v": [1]})
+        right = DataFrame({"k": ["a"], "w": [2]})
+        assert len(left.merge(right, on="k")) == 1
+
+
+class TestCutQcut:
+    def test_cut_int_bins(self):
+        out = pd.cut(Series([1.0, 5.0, 9.0]), 2)
+        assert out.iloc[0] != out.iloc[2]
+
+    def test_cut_explicit_edges_with_labels(self):
+        out = pd.cut(Series([5, 15, 25]), [0, 10, 20, 30], labels=["lo", "mid", "hi"])
+        assert out.tolist() == ["lo", "mid", "hi"]
+
+    def test_cut_out_of_range_is_missing(self):
+        out = pd.cut(Series([100]), [0, 10], labels=["x"])
+        assert is_missing(out.iloc[0])
+
+    def test_cut_missing_passthrough(self):
+        out = pd.cut(Series([NA, 5.0]), [0, 10], labels=["x"])
+        assert is_missing(out.iloc[0])
+
+    def test_qcut_quartiles(self):
+        out = pd.qcut(Series(list(range(100))), 4, labels=["q1", "q2", "q3", "q4"])
+        assert out.iloc[0] == "q1"
+        assert out.iloc[99] == "q4"
+
+
+class TestToNumeric:
+    def test_parses_strings(self):
+        assert pd.to_numeric(Series(["1.5", "2"])).tolist() == [1.5, 2.0]
+
+    def test_raise_on_bad(self):
+        with pytest.raises(ValueError):
+            pd.to_numeric(Series(["abc"]))
+
+    def test_coerce(self):
+        out = pd.to_numeric(Series(["1", "abc"]), errors="coerce")
+        assert out.iloc[0] == 1.0
+        assert is_missing(out.iloc[1])
+
+    def test_ints_stay_ints(self):
+        assert pd.to_numeric(Series([1, 2])).dtype == "int64"
+
+
+class TestMeltPivot:
+    def test_melt_shape(self):
+        frame = DataFrame({"id": [1, 2], "a": [10, 20], "b": [30, 40]})
+        out = melt(frame, id_vars=["id"])
+        assert out.shape == (4, 3)
+        assert set(out["variable"].tolist()) == {"a", "b"}
+
+    def test_melt_no_id_vars(self):
+        out = melt(DataFrame({"a": [1], "b": [2]}))
+        assert out.shape == (2, 2)
+
+    def test_pivot_table_mean(self):
+        frame = DataFrame(
+            {"r": ["x", "x", "y"], "c": ["p", "p", "q"], "v": [1.0, 3.0, 5.0]}
+        )
+        out = pivot_table(frame, values="v", index="r", columns="c")
+        assert out["p"].iloc[0] == 2.0
+        assert is_missing(out["q"].iloc[0])
+
+    def test_pivot_table_invalid_aggfunc(self):
+        frame = DataFrame({"r": ["x"], "c": ["p"], "v": [1.0]})
+        with pytest.raises(ValueError):
+            pivot_table(frame, values="v", index="r", columns="c", aggfunc="bogus")
+
+
+class TestModuleLevelNulls:
+    def test_isnull_scalar(self):
+        assert pd.isnull(NA)
+        assert not pd.isnull(1)
+
+    def test_isnull_series(self):
+        assert pd.isnull(Series([NA, 1.0])).tolist() == [True, False]
+
+    def test_notnull_frame(self):
+        assert pd.notnull(DataFrame({"a": [1]}))["a"].tolist() == [True]
+
+    def test_unique(self):
+        assert pd.unique(Series([1, 1, 2])) == [1, 2]

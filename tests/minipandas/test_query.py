@@ -1,0 +1,119 @@
+"""Tests for DataFrame.query (safe AST-based expression filtering)."""
+
+import pytest
+
+from repro.minipandas import NA, DataFrame
+
+
+@pytest.fixture()
+def df():
+    return DataFrame(
+        {
+            "Age": [15, 22, 35, 70],
+            "Sex": ["m", "f", "m", "f"],
+            "Fare": [10.0, NA, 30.0, 200.0],
+        }
+    )
+
+
+class TestBasicComparisons:
+    def test_greater(self, df):
+        assert df.query("Age > 30")["Age"].tolist() == [35, 70]
+
+    def test_equality_string(self, df):
+        assert df.query("Sex == 'f'")["Age"].tolist() == [22, 70]
+
+    def test_not_equal(self, df):
+        assert df.query("Sex != 'f'")["Age"].tolist() == [15, 35]
+
+    def test_chained_comparison(self, df):
+        assert df.query("18 <= Age <= 40")["Age"].tolist() == [22, 35]
+
+    def test_missing_values_excluded(self, df):
+        assert df.query("Fare > 0")["Age"].tolist() == [15, 35, 70]
+
+
+class TestBooleanLogic:
+    def test_and(self, df):
+        out = df.query("Age > 18 and Sex == 'm'")
+        assert out["Age"].tolist() == [35]
+
+    def test_or(self, df):
+        out = df.query("Age < 18 or Age > 60")
+        assert out["Age"].tolist() == [15, 70]
+
+    def test_not(self, df):
+        assert df.query("not Sex == 'f'")["Age"].tolist() == [15, 35]
+
+    def test_ampersand_and_pipe(self, df):
+        assert df.query("(Age > 18) & (Sex == 'm')")["Age"].tolist() == [35]
+        assert df.query("(Age < 18) | (Age > 60)")["Age"].tolist() == [15, 70]
+
+    def test_parentheses(self, df):
+        out = df.query("(Age > 18 and Sex == 'm') or Age > 60")
+        assert out["Age"].tolist() == [35, 70]
+
+
+class TestExpressions:
+    def test_arithmetic(self, df):
+        assert df.query("Age * 2 > 60")["Age"].tolist() == [35, 70]
+
+    def test_column_vs_column(self, df):
+        assert df.query("Fare > Age")["Age"].tolist() == [70]
+
+    def test_in_list(self, df):
+        assert df.query("Age in [15, 70]")["Age"].tolist() == [15, 70]
+
+    def test_not_in_list(self, df):
+        assert df.query("Age not in [15, 70]")["Age"].tolist() == [22, 35]
+
+    def test_abs_call(self, df):
+        assert df.query("abs(Age - 30) < 10")["Age"].tolist() == [22, 35]
+
+    def test_at_variables(self, df):
+        out = df.query("Age > @lo and Age < @hi", lo=18, hi=40)
+        assert out["Age"].tolist() == [22, 35]
+
+
+class TestErrors:
+    def test_unknown_column(self, df):
+        with pytest.raises(ValueError):
+            df.query("Bogus > 1")
+
+    def test_undefined_at_variable(self, df):
+        with pytest.raises(ValueError):
+            df.query("Age > @nope")
+
+    def test_syntax_error(self, df):
+        with pytest.raises(ValueError):
+            df.query("Age >")
+
+    def test_non_boolean_result(self, df):
+        with pytest.raises(ValueError):
+            df.query("Age + 1")
+
+    def test_attribute_access_blocked(self, df):
+        with pytest.raises(ValueError):
+            df.query("Age.__class__ == 1")
+
+    def test_arbitrary_calls_blocked(self, df):
+        with pytest.raises(ValueError):
+            df.query("print(Age)")
+
+    def test_lambda_blocked(self, df):
+        with pytest.raises(ValueError):
+            df.query("(lambda: 1)()")
+
+
+class TestSandboxIntegration:
+    def test_query_runs_inside_scripts(self, diabetes_dir):
+        from repro.sandbox import run_script
+
+        script = (
+            "import pandas as pd\n"
+            "df = pd.read_csv('diabetes.csv')\n"
+            "df = df.query('SkinThickness < 80')"
+        )
+        result = run_script(script, data_dir=diabetes_dir)
+        assert result.ok
+        assert (result.output["SkinThickness"] < 80).all()

@@ -1,0 +1,493 @@
+"""Unit tests for minipandas Series."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.minipandas import NA, Series, is_missing
+
+
+class TestConstruction:
+    def test_from_list(self):
+        s = Series([1, 2, 3], name="x")
+        assert s.tolist() == [1, 2, 3]
+        assert s.name == "x"
+        assert len(s) == 3
+
+    def test_default_index_is_range(self):
+        s = Series([10, 20])
+        assert s.index.tolist() == [0, 1]
+
+    def test_explicit_index(self):
+        s = Series([10, 20], index=["a", "b"])
+        assert s["a"] == 10
+        assert s["b"] == 20
+
+    def test_index_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Series([1, 2], index=[0])
+
+    def test_from_series_copies_values(self):
+        s1 = Series([1, 2], name="x")
+        s2 = Series(s1)
+        s2[0] = 99
+        assert s1[0] == 1
+        assert s2.name == "x"
+
+    def test_from_dict(self):
+        s = Series({"a": 1, "b": 2})
+        assert s["a"] == 1
+        assert s.index.tolist() == ["a", "b"]
+
+    def test_from_numpy_array(self):
+        s = Series(np.array([1.5, 2.5]))
+        assert s.tolist() == [1.5, 2.5]
+
+    def test_numpy_scalars_coerced_to_python(self):
+        s = Series([np.int64(3), np.float64(1.5)])
+        assert type(s[0]) is int
+        assert type(s[1]) is float
+
+    def test_empty_series(self):
+        s = Series([])
+        assert len(s) == 0
+        assert s.empty
+
+    def test_dtype_argument_casts(self):
+        s = Series([1, 2], dtype="float64")
+        assert s.dtype == "float64"
+        assert s.tolist() == [1.0, 2.0]
+
+
+class TestDtypeInference:
+    def test_int(self):
+        assert Series([1, 2]).dtype == "int64"
+
+    def test_float(self):
+        assert Series([1.0, 2]).dtype == "float64"
+
+    def test_bool(self):
+        assert Series([True, False]).dtype == "bool"
+
+    def test_object(self):
+        assert Series(["a", "b"]).dtype == "object"
+
+    def test_int_with_none_promotes_to_float(self):
+        assert Series([1, None, 3]).dtype == "float64"
+
+    def test_string_with_none_stays_object(self):
+        assert Series(["a", None]).dtype == "object"
+
+    def test_all_missing_is_float(self):
+        assert Series([None, None]).dtype == "float64"
+
+    def test_mixed_numeric_and_string_is_object(self):
+        assert Series([1, "a"]).dtype == "object"
+
+
+class TestIndexing:
+    def test_getitem_by_label(self):
+        s = Series([5, 6], index=["x", "y"])
+        assert s["y"] == 6
+
+    def test_getitem_missing_label_raises(self):
+        with pytest.raises(KeyError):
+            Series([1])[99]
+
+    def test_boolean_mask_filters(self):
+        s = Series([1, 2, 3, 4])
+        out = s[s > 2]
+        assert out.tolist() == [3, 4]
+        assert out.index.tolist() == [2, 3]
+
+    def test_mask_preserves_labels(self):
+        s = Series([1, 2, 3], index=["a", "b", "c"])
+        out = s[s >= 2]
+        assert out.index.tolist() == ["b", "c"]
+
+    def test_slice(self):
+        s = Series([1, 2, 3, 4])
+        assert s[1:3].tolist() == [2, 3]
+
+    def test_label_list(self):
+        s = Series([1, 2, 3], index=["a", "b", "c"])
+        assert s[["c", "a"]].tolist() == [3, 1]
+
+    def test_iloc_positional(self):
+        s = Series([9, 8, 7], index=["a", "b", "c"])
+        assert s.iloc[2] == 7
+        assert s.iloc[0:2].tolist() == [9, 8]
+
+    def test_setitem_by_label(self):
+        s = Series([1, 2], index=["a", "b"])
+        s["a"] = 10
+        assert s["a"] == 10
+
+    def test_setitem_by_mask(self):
+        s = Series([1, 2, 3])
+        s[s > 1] = 0
+        assert s.tolist() == [1, 0, 0]
+
+    def test_head_tail(self):
+        s = Series(list(range(10)))
+        assert s.head(3).tolist() == [0, 1, 2]
+        assert s.tail(2).tolist() == [8, 9]
+        assert s.tail(0).tolist() == []
+
+
+class TestArithmetic:
+    def test_scalar_add(self):
+        assert (Series([1, 2]) + 1).tolist() == [2, 3]
+
+    def test_scalar_radd(self):
+        assert (1 + Series([1, 2])).tolist() == [2, 3]
+
+    def test_series_add_aligns_by_label(self):
+        a = Series([1, 2], index=["x", "y"])
+        b = Series([10, 20], index=["y", "x"])
+        out = a + b
+        assert out["x"] == 21
+        assert out["y"] == 12
+
+    def test_add_with_missing_label_gives_nan(self):
+        a = Series([1, 2], index=["x", "y"])
+        b = Series([10], index=["x"])
+        out = a + b
+        assert out["x"] == 11
+        assert is_missing(out["y"])
+
+    def test_nan_propagates(self):
+        out = Series([1.0, NA]) + 1
+        assert out[0] == 2.0
+        assert is_missing(out[1])
+
+    def test_sub_mul(self):
+        s = Series([2, 4])
+        assert (s - 1).tolist() == [1, 3]
+        assert (s * 3).tolist() == [6, 12]
+
+    def test_rsub(self):
+        assert (10 - Series([1, 2])).tolist() == [9, 8]
+
+    def test_div_by_zero_gives_nan_or_inf(self):
+        out = Series([0, 1]) / 0
+        assert is_missing(out[0])
+        assert out[1] == math.inf
+
+    def test_floordiv_mod_pow(self):
+        s = Series([7, 9])
+        assert (s // 2).tolist() == [3, 4]
+        assert (s % 2).tolist() == [1, 1]
+        assert (s ** 2).tolist() == [49, 81]
+
+    def test_neg(self):
+        assert (-Series([1, -2])).tolist() == [-1, 2]
+
+
+class TestComparison:
+    def test_gt(self):
+        assert (Series([1, 5]) > 3).tolist() == [False, True]
+
+    def test_eq_scalar(self):
+        assert (Series(["a", "b"]) == "a").tolist() == [True, False]
+
+    def test_comparison_with_missing_is_false(self):
+        assert (Series([1.0, NA]) > 0).tolist() == [True, False]
+
+    def test_type_mismatch_is_false_not_error(self):
+        assert (Series(["a", 1]) > 0).tolist() == [False, True]
+
+    def test_series_vs_series(self):
+        out = Series([1, 5]) >= Series([2, 5])
+        assert out.tolist() == [False, True]
+
+    def test_bool_of_series_raises(self):
+        with pytest.raises(ValueError):
+            bool(Series([True]))
+
+
+class TestLogical:
+    def test_and_or(self):
+        a = Series([True, True, False])
+        b = Series([True, False, False])
+        assert (a & b).tolist() == [True, False, False]
+        assert (a | b).tolist() == [True, True, False]
+
+    def test_invert(self):
+        assert (~Series([True, False])).tolist() == [False, True]
+
+    def test_xor(self):
+        assert (Series([True, False]) ^ Series([True, True])).tolist() == [False, True]
+
+    def test_any_all(self):
+        assert Series([False, True]).any()
+        assert not Series([False, False]).any()
+        assert Series([True, True]).all()
+        assert not Series([True, False]).all()
+
+
+class TestMissingData:
+    def test_isnull(self):
+        assert Series([1.0, NA, None]).isnull().tolist() == [False, True, True]
+
+    def test_notnull(self):
+        assert Series([1.0, NA]).notnull().tolist() == [True, False]
+
+    def test_fillna_scalar(self):
+        assert Series([1.0, NA]).fillna(0).tolist() == [1.0, 0]
+
+    def test_fillna_series_by_label(self):
+        s = Series([NA, 2.0], index=["a", "b"])
+        fill = Series([9.0], index=["a"])
+        assert s.fillna(fill).tolist() == [9.0, 2.0]
+
+    def test_fillna_preserves_non_missing(self):
+        s = Series([5.0, NA])
+        assert s.fillna(1.0)[0] == 5.0
+
+    def test_dropna(self):
+        s = Series([1.0, NA, 3.0])
+        out = s.dropna()
+        assert out.tolist() == [1.0, 3.0]
+        assert out.index.tolist() == [0, 2]
+
+
+class TestPredicates:
+    def test_between_inclusive_default(self):
+        s = Series([17, 18, 25, 26])
+        assert s.between(18, 25).tolist() == [False, True, True, False]
+
+    def test_between_neither(self):
+        s = Series([18, 20, 25])
+        assert s.between(18, 25, inclusive="neither").tolist() == [False, True, False]
+
+    def test_between_invalid_inclusive(self):
+        with pytest.raises(ValueError):
+            Series([1]).between(0, 2, inclusive="bogus")
+
+    def test_between_missing_is_false(self):
+        assert Series([NA]).between(0, 100).tolist() == [False]
+
+    def test_isin(self):
+        assert Series(["a", "b", "c"]).isin(["a", "c"]).tolist() == [True, False, True]
+
+    def test_isin_missing_is_false(self):
+        assert Series([NA]).isin([NA]).tolist() == [False]
+
+    def test_duplicated(self):
+        assert Series([1, 2, 1, 1]).duplicated().tolist() == [False, False, True, True]
+
+
+class TestConversion:
+    def test_astype_int(self):
+        assert Series([1.7, 2.2]).astype(int).tolist() == [1, 2]
+
+    def test_astype_str(self):
+        assert Series([1, 2]).astype(str).tolist() == ["1", "2"]
+
+    def test_astype_int_with_missing_raises(self):
+        with pytest.raises(ValueError):
+            Series([1.0, NA]).astype(int)
+
+    def test_astype_float_keeps_missing(self):
+        out = Series([1, None]).astype(float)
+        assert out[0] == 1.0
+        assert is_missing(out[1])
+
+    def test_astype_unknown_dtype(self):
+        with pytest.raises(TypeError):
+            Series([1]).astype("complex128")
+
+    def test_map_dict(self):
+        out = Series(["m", "f"]).map({"m": 0, "f": 1})
+        assert out.tolist() == [0, 1]
+
+    def test_map_dict_unmapped_becomes_nan(self):
+        out = Series(["m", "x"]).map({"m": 0})
+        assert out[0] == 0
+        assert is_missing(out[1])
+
+    def test_map_callable_skips_missing(self):
+        out = Series([1.0, NA]).map(lambda v: v * 10)
+        assert out[0] == 10.0
+        assert is_missing(out[1])
+
+    def test_apply_hits_missing_too(self):
+        out = Series([1.0, NA]).apply(is_missing)
+        assert out.tolist() == [False, True]
+
+    def test_replace_scalar(self):
+        assert Series([0, 1, 0]).replace(0, 9).tolist() == [9, 1, 9]
+
+    def test_replace_list(self):
+        assert Series([0, 1, 2]).replace([0, 1], -1).tolist() == [-1, -1, 2]
+
+    def test_replace_dict(self):
+        assert Series(["a", "b"]).replace({"a": "z"}).tolist() == ["z", "b"]
+
+    def test_clip(self):
+        assert Series([-5, 0, 5]).clip(-1, 1).tolist() == [-1, 0, 1]
+
+    def test_clip_missing_passthrough(self):
+        assert is_missing(Series([NA]).clip(0, 1)[0])
+
+    def test_abs_round(self):
+        assert Series([-1.26]).abs().round(1).tolist() == [1.3]
+
+
+class TestReductions:
+    def test_mean_skips_missing(self):
+        assert Series([1.0, NA, 3.0]).mean() == 2.0
+
+    def test_median(self):
+        assert Series([1, 9, 2]).median() == 2.0
+
+    def test_sum_empty_is_zero(self):
+        assert Series([]).sum() == 0.0
+
+    def test_mean_empty_is_nan(self):
+        assert is_missing(Series([]).mean())
+
+    def test_std_var(self):
+        s = Series([1.0, 2.0, 3.0])
+        assert s.std() == pytest.approx(1.0)
+        assert s.var() == pytest.approx(1.0)
+
+    def test_std_single_value_is_nan(self):
+        assert is_missing(Series([1.0]).std())
+
+    def test_min_max(self):
+        s = Series([3, 1, 2])
+        assert s.min() == 1
+        assert s.max() == 3
+
+    def test_min_all_missing_is_nan(self):
+        assert is_missing(Series([NA, NA]).min())
+
+    def test_count(self):
+        assert Series([1.0, NA, 2.0]).count() == 2
+
+    def test_quantile(self):
+        assert Series(list(range(101))).quantile(0.5) == 50.0
+
+    def test_mode_single(self):
+        assert Series([1, 1, 2]).mode().tolist() == [1]
+
+    def test_mode_tie_sorted(self):
+        assert Series([2, 2, 1, 1]).mode().tolist() == [1, 2]
+
+    def test_idxmax_idxmin(self):
+        s = Series([5, 1, 9], index=["a", "b", "c"])
+        assert s.idxmax() == "c"
+        assert s.idxmin() == "b"
+
+    def test_idxmax_all_missing_raises(self):
+        with pytest.raises(ValueError):
+            Series([NA]).idxmax()
+
+    def test_nunique(self):
+        assert Series([1, 1, 2, NA]).nunique() == 2
+        assert Series([1, 1, 2, NA]).nunique(dropna=False) == 3
+
+    def test_unique_preserves_order(self):
+        assert Series([3, 1, 3, 2]).unique() == [3, 1, 2]
+
+    def test_bool_values_count_as_numeric(self):
+        assert Series([True, False, True]).mean() == pytest.approx(2 / 3)
+
+
+class TestValueCounts:
+    def test_counts_descending(self):
+        vc = Series(["a", "b", "a"]).value_counts()
+        assert vc.index.tolist() == ["a", "b"]
+        assert vc.tolist() == [2, 1]
+
+    def test_normalize(self):
+        vc = Series(["a", "b", "a", "a"]).value_counts(normalize=True)
+        assert vc.tolist() == [0.75, 0.25]
+
+    def test_dropna_default(self):
+        vc = Series(["a", NA]).value_counts()
+        assert vc.tolist() == [1]
+
+
+class TestSorting:
+    def test_sort_values_ascending(self):
+        s = Series([3, 1, 2])
+        assert s.sort_values().tolist() == [1, 2, 3]
+
+    def test_sort_values_descending(self):
+        assert Series([3, 1, 2]).sort_values(ascending=False).tolist() == [3, 2, 1]
+
+    def test_sort_puts_missing_last(self):
+        out = Series([3.0, NA, 1.0]).sort_values()
+        assert out.tolist()[:2] == [1.0, 3.0]
+        assert is_missing(out.tolist()[2])
+
+    def test_sort_keeps_labels(self):
+        out = Series([3, 1], index=["a", "b"]).sort_values()
+        assert out.index.tolist() == ["b", "a"]
+
+
+class TestSample:
+    def test_sample_n(self):
+        s = Series(list(range(100)))
+        out = s.sample(10, random_state=0)
+        assert len(out) == 10
+        assert len(set(out.index.tolist())) == 10
+
+    def test_sample_deterministic(self):
+        s = Series(list(range(50)))
+        a = s.sample(5, random_state=3).tolist()
+        b = s.sample(5, random_state=3).tolist()
+        assert a == b
+
+    def test_sample_frac(self):
+        assert len(Series(list(range(10))).sample(frac=0.5, random_state=0)) == 5
+
+    def test_sample_caps_at_length(self):
+        assert len(Series([1, 2]).sample(10, random_state=0)) == 2
+
+
+class TestMisc:
+    def test_copy_is_independent(self):
+        s = Series([1, 2])
+        c = s.copy()
+        c[0] = 99
+        assert s[0] == 1
+
+    def test_item(self):
+        assert Series([7]).item() == 7
+        with pytest.raises(ValueError):
+            Series([1, 2]).item()
+
+    def test_rename(self):
+        assert Series([1], name="a").rename("b").name == "b"
+
+    def test_corr_perfect(self):
+        a = Series([1.0, 2.0, 3.0])
+        assert a.corr(a * 2) == pytest.approx(1.0)
+
+    def test_corr_constant_is_nan(self):
+        assert is_missing(Series([1.0, 1.0, 1.0]).corr(Series([1.0, 2.0, 3.0])))
+
+    def test_corr_skips_missing_pairs(self):
+        a = Series([1.0, 2.0, NA, 4.0])
+        b = Series([2.0, 4.0, 5.0, 8.0])
+        assert a.corr(b) == pytest.approx(1.0)
+
+    def test_values_numeric_dtype(self):
+        assert Series([1, 2]).values.dtype == np.int64
+
+    def test_values_float_with_nan(self):
+        values = Series([1.0, NA]).values
+        assert values.dtype == np.float64
+        assert np.isnan(values[1])
+
+    def test_describe_keys(self):
+        d = Series([1.0, 2.0, 3.0]).describe()
+        assert d.index.tolist() == ["count", "mean", "std", "min", "25%", "50%", "75%", "max"]
+
+    def test_skew_symmetric_is_near_zero(self):
+        assert abs(Series([1.0, 2.0, 3.0, 4.0, 5.0]).skew()) < 1e-9

@@ -1,0 +1,88 @@
+"""Tests for the learned Auto-Suggest next-operator model."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import AutoSuggest, NextOperatorModel, generate_training_tables
+from repro.baselines.auto_suggest_model import (
+    OPERATOR_CLASSES,
+    _attribute_per_row_table,
+    _key_value_log_table,
+    _relational_table,
+    _year_matrix_table,
+    default_model,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return default_model()
+
+
+class TestTrainingData:
+    def test_balanced_classes(self):
+        examples = generate_training_tables(n_per_class=5, seed=0)
+        labels = [label for _, label in examples]
+        for cls in OPERATOR_CLASSES:
+            assert labels.count(cls) == 5
+
+    def test_deterministic(self):
+        a = generate_training_tables(n_per_class=3, seed=1)
+        b = generate_training_tables(n_per_class=3, seed=1)
+        assert all(
+            x[0].shape == y[0].shape and x[1] == y[1] for x, y in zip(a, b)
+        )
+
+    def test_generators_have_expected_shapes(self):
+        rng = np.random.default_rng(0)
+        assert _year_matrix_table(rng).shape[1] > 10
+        attr = _attribute_per_row_table(rng)
+        assert attr.shape[1] > attr.shape[0]
+        assert _key_value_log_table(rng).shape[1] == 3
+        rel = _relational_table(rng)
+        assert rel.shape[0] > rel.shape[1]
+
+
+class TestModel:
+    def test_untrained_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            NextOperatorModel().predict_proba(_relational_table(np.random.default_rng(0)))
+
+    def test_empty_training_raises(self):
+        with pytest.raises(ValueError):
+            NextOperatorModel().fit([])
+
+    def test_holdout_accuracy(self, model):
+        holdout = generate_training_tables(n_per_class=10, seed=99)
+        hits = sum(
+            (model.predict(table) or "none") == label for table, label in holdout
+        )
+        assert hits / len(holdout) >= 0.8
+
+    def test_relational_predicts_none(self, model):
+        table = _relational_table(np.random.default_rng(5))
+        assert model.predict(table) is None
+
+    def test_year_matrix_predicts_melt(self, model):
+        table = _year_matrix_table(np.random.default_rng(5))
+        assert model.predict(table) == "melt"
+
+    def test_attribute_rows_predict_transpose(self, model):
+        table = _attribute_per_row_table(np.random.default_rng(5))
+        assert model.predict(table) == "transpose"
+
+    def test_key_value_log_predicts_pivot(self, model):
+        table = _key_value_log_table(np.random.default_rng(5))
+        assert model.predict(table) == "pivot"
+
+    def test_proba_normalized(self, model):
+        table = _relational_table(np.random.default_rng(1))
+        proba = model.predict_proba(table)
+        assert set(proba) == set(OPERATOR_CLASSES)
+        assert sum(proba.values()) == pytest.approx(1.0)
+
+
+class TestLearnedBaseline:
+    def test_learned_variant_unchanged_on_competition(self, diabetes_dir, alex_script):
+        baseline = AutoSuggest(data_dir=diabetes_dir, learned=True)
+        assert baseline.rewrite(alex_script, []) == alex_script

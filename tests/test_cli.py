@@ -1,0 +1,161 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture()
+def corpus_dir(tmp_path, diabetes_corpus):
+    d = tmp_path / "corpus"
+    d.mkdir()
+    for position, script in enumerate(diabetes_corpus):
+        (d / f"peer_{position}.py").write_text(script + "\n")
+    return str(d)
+
+
+@pytest.fixture()
+def script_path(tmp_path, alex_script):
+    path = tmp_path / "user.py"
+    path.write_text(alex_script + "\n")
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_standardize_args(self):
+        args = build_parser().parse_args(
+            ["standardize", "--script", "s.py", "--corpus-dir", "c/",
+             "--data-dir", "d/", "--tau-j", "0.8", "--seq", "4"]
+        )
+        assert args.command == "standardize"
+        assert args.tau_j == 0.8
+        assert args.seq == 4
+
+    def test_build_workload_validates_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["build-workload", "bogus", "--out", "x"])
+
+
+class TestScore:
+    def test_prints_re(self, corpus_dir, script_path, capsys):
+        code = main(["score", "--script", script_path, "--corpus-dir", corpus_dir])
+        assert code == 0
+        out = capsys.readouterr().out.strip()
+        assert float(out) > 0
+
+    def test_empty_corpus_dir_exits(self, tmp_path, script_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(SystemExit):
+            main(["score", "--script", script_path, "--corpus-dir", str(empty)])
+
+
+class TestStandardize:
+    def test_end_to_end(self, corpus_dir, script_path, diabetes_dir, tmp_path, capsys):
+        out_path = str(tmp_path / "out.py")
+        code = main(
+            ["standardize", "--script", script_path, "--corpus-dir", corpus_dir,
+             "--data-dir", diabetes_dir, "--tau-j", "0.5",
+             "--seq", "6", "--beam-size", "2", "--sample-rows", "120",
+             "--output", out_path]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "read_csv" in printed
+        assert os.path.exists(out_path)
+        with open(out_path) as handle:
+            assert "import pandas as pd" in handle.read()
+
+    def test_broken_input_fails_cleanly(self, corpus_dir, tmp_path, diabetes_dir, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import pandas as pd\ndf = pd.read_csv('nope.csv')\n")
+        code = main(
+            ["standardize", "--script", str(bad), "--corpus-dir", corpus_dir,
+             "--data-dir", diabetes_dir, "--seq", "2"]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestExplain:
+    def test_prints_rationales(self, corpus_dir, script_path, diabetes_dir, capsys):
+        code = main(
+            ["explain", "--script", script_path, "--corpus-dir", corpus_dir,
+             "--data-dir", diabetes_dir, "--tau-j", "0.5",
+             "--seq", "6", "--beam-size", "2", "--sample-rows", "120"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "corpus prevalence" in out or "already standard" in out
+
+
+class TestBuildWorkload:
+    def test_materializes_competition(self, tmp_path, capsys):
+        code = main(
+            ["build-workload", "medical", "--out", str(tmp_path),
+             "--n-scripts", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "train.csv" in out
+        scripts_dir = tmp_path / "medical" / "scripts"
+        assert len(list(scripts_dir.glob("*.py"))) == 4
+
+
+class TestDetectLeakage:
+    def test_flags_removed_steps(self, corpus_dir, tmp_path, diabetes_dir, capsys):
+        leaky = tmp_path / "leaky.py"
+        leaky.write_text(
+            "import pandas as pd\n"
+            "df = pd.read_csv('diabetes.csv')\n"
+            "df = df.fillna(df.mean())\n"
+            "df['Outcome_copy'] = df['Outcome']\n"
+        )
+        code = main(
+            ["detect-leakage", "--script", str(leaky), "--corpus-dir", corpus_dir,
+             "--data-dir", diabetes_dir, "--tau-j", "0.5",
+             "--seq", "6", "--beam-size", "2", "--sample-rows", "120"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Outcome_copy" in out or "no out-of-the-ordinary" in out
+
+
+class TestCurate:
+    def test_writes_vocabulary_json(self, corpus_dir, tmp_path, capsys):
+        out = str(tmp_path / "vocab.json")
+        code = main(["curate", "--corpus-dir", corpus_dir, "--out", out])
+        assert code == 0
+        assert "curated 3 scripts" in capsys.readouterr().out
+
+        from repro.lang import load_vocabulary
+
+        vocabulary = load_vocabulary(out)
+        assert vocabulary.n_scripts == 3
+        assert vocabulary.total_edges > 0
+
+
+class TestNotebookCorpus:
+    def test_corpus_dir_accepts_notebooks(self, tmp_path, diabetes_corpus, alex_script, capsys):
+        import json
+
+        d = tmp_path / "nbcorpus"
+        d.mkdir()
+        for position, script in enumerate(diabetes_corpus):
+            nb = {
+                "cells": [
+                    {"cell_type": "code", "source": script.splitlines(keepends=True)}
+                ]
+            }
+            (d / f"peer_{position}.ipynb").write_text(json.dumps(nb))
+        user = tmp_path / "user.py"
+        user.write_text(alex_script + "\n")
+        code = main(["score", "--script", str(user), "--corpus-dir", str(d)])
+        assert code == 0
+        assert float(capsys.readouterr().out.strip()) > 0

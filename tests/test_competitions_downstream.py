@@ -1,0 +1,84 @@
+"""Downstream evaluability of every competition (small builds).
+
+The Δ_M intent measure requires that each competition's emitted datasets
+support a downstream model.  These tests run the majority pipeline of
+every competition and check the model substrate produces a sane score.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.lang import lemmatize
+from repro.ml import evaluate_downstream
+from repro.sandbox import run_script
+from repro.workloads import SLOT_POOLS, SPECS
+
+_DIRS = {}
+
+
+def small_build(name, tmp_root="/tmp/repro-downstream-tests"):
+    if name not in _DIRS:
+        spec = SPECS[name]
+        rng = np.random.default_rng(1)
+        directory = os.path.join(tmp_root, name)
+        os.makedirs(directory, exist_ok=True)
+        spec.generator(rng, min(spec.n_rows, 1500)).to_csv(
+            os.path.join(directory, spec.data_file)
+        )
+        _DIRS[name] = directory
+    return _DIRS[name]
+
+
+def majority_script(name):
+    steps = [
+        max(slot.alternatives, key=lambda alt: alt[1])[0]
+        for slot in SLOT_POOLS[name]
+    ]
+    return (
+        "import pandas as pd\ndf = pd.read_csv('train.csv')\n" + "\n".join(steps)
+    )
+
+
+@pytest.mark.parametrize("name", sorted(SPECS))
+def test_majority_pipeline_supports_downstream_model(name):
+    spec = SPECS[name]
+    result = run_script(majority_script(name), data_dir=small_build(name),
+                        sample_rows=800)
+    assert result.ok, result.error
+    outcome = evaluate_downstream(result.output, spec.target, task=spec.task)
+    assert outcome.task == spec.task
+    if spec.task == "classification":
+        assert outcome.accuracy > 0.55  # clearly above coin flip
+    else:
+        assert 0.0 <= outcome.accuracy <= 1.0  # clipped R^2
+
+
+@pytest.mark.parametrize("name", sorted(SPECS))
+def test_raw_data_also_evaluable(name):
+    """Even without preparation, the intent oracle must not crash —
+    the user's input script may do very little."""
+    spec = SPECS[name]
+    script = "import pandas as pd\ndf = pd.read_csv('train.csv')"
+    result = run_script(script, data_dir=small_build(name), sample_rows=800)
+    outcome = evaluate_downstream(result.output, spec.target, task=spec.task)
+    assert 0.0 <= outcome.accuracy <= 1.0
+
+
+@pytest.mark.parametrize("name", sorted(SPECS))
+def test_preparation_does_not_collapse_accuracy(name):
+    """The majority pipeline must not make the task unlearnable."""
+    spec = SPECS[name]
+    raw = run_script(
+        "import pandas as pd\ndf = pd.read_csv('train.csv')",
+        data_dir=small_build(name), sample_rows=800,
+    ).output
+    prepared = run_script(
+        majority_script(name), data_dir=small_build(name), sample_rows=800
+    ).output
+    acc_raw = evaluate_downstream(raw, spec.target, task=spec.task).accuracy
+    acc_prepared = evaluate_downstream(
+        prepared, spec.target, task=spec.task
+    ).accuracy
+    assert acc_prepared >= acc_raw - 0.15

@@ -1,0 +1,14 @@
+"""Run the doctests embedded in public module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.minipandas
+
+
+@pytest.mark.parametrize("module", [repro.minipandas])
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"

@@ -1,0 +1,129 @@
+"""End-to-end integration tests across all subsystems.
+
+These run the full paper pipeline on small synthetic competitions: build
+data + corpus, standardize user scripts under both intent measures,
+compare against baselines, and detect injected target leakage.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    LSConfig,
+    LucidScript,
+    ModelPerformanceIntent,
+    TableJaccardIntent,
+    detect_target_leakage,
+    recommend_parameters,
+)
+from repro.baselines import SyntaxCleaner
+from repro.harness import evaluate_baseline, evaluate_lucidscript
+from repro.lang import CorpusVocabulary
+from repro.sandbox import check_executes
+from repro.workloads import inject_target_leakage
+
+FAST = LSConfig(seq=6, beam_size=2, sample_rows=120)
+
+
+class TestFullPipelineMedical:
+    def test_standardization_improves_over_corpus(self, medical_competition):
+        run = evaluate_lucidscript(
+            medical_competition, intent_kind="jaccard", config=FAST, max_scripts=6
+        )
+        stats = run.stats()
+        assert stats.minimum >= 0.0
+        assert stats.mean > 0.0  # at least some scripts improved
+
+    def test_ls_beats_sourcery(self, medical_competition):
+        ls = evaluate_lucidscript(
+            medical_competition, intent_kind="jaccard", config=FAST, max_scripts=5
+        )
+        sourcery = evaluate_baseline(SyntaxCleaner(), medical_competition, max_scripts=5)
+        assert ls.stats().mean > sourcery.stats().mean
+
+    def test_outputs_always_execute(self, medical_competition):
+        run = evaluate_lucidscript(
+            medical_competition, intent_kind="jaccard", config=FAST, max_scripts=4
+        )
+        for script in run.output_scripts:
+            assert check_executes(script, data_dir=medical_competition.data_dir)
+
+    def test_jaccard_deltas_respect_tau(self, medical_competition):
+        run = evaluate_lucidscript(
+            medical_competition,
+            intent_kind="jaccard",
+            tau=0.9,
+            config=FAST,
+            max_scripts=4,
+        )
+        assert all(delta >= 0.9 for delta in run.intent_deltas)
+
+
+class TestCrossCorpus:
+    def test_titanic_corpus_standardizes_spaceship_style_script(
+        self, titanic_competition
+    ):
+        """The paper's "different corpus" scenario: a foreign corpus still
+        helps when schemas overlap (both have Age)."""
+        foreign_script = (
+            "import pandas as pd\n"
+            "df = pd.read_csv('train.csv')\n"
+            "df = df[df['Age'] > 5]"
+        )
+        system = LucidScript(
+            titanic_competition.scripts,
+            data_dir=titanic_competition.data_dir,
+            intent=TableJaccardIntent(tau=0.3),
+            config=FAST,
+        )
+        result = system.standardize(foreign_script)
+        assert result.improvement >= 0.0
+
+
+class TestLeakageEndToEnd:
+    def test_detects_injected_leakage_in_competition_script(
+        self, medical_competition
+    ):
+        rng = np.random.default_rng(0)
+        detected = 0
+        attempts = 0
+        for script in medical_competition.scripts[:6]:
+            if "'Outcome'" not in script:
+                continue
+            attempts += 1
+            injected, snippets = inject_target_leakage(script, "Outcome", rng)
+            system = LucidScript(
+                [s for s in medical_competition.scripts if s != script],
+                data_dir=medical_competition.data_dir,
+                intent=TableJaccardIntent(tau=0.7),
+                config=LSConfig(seq=8, beam_size=2, sample_rows=120),
+            )
+            outcome = detect_target_leakage(system, injected, snippets)
+            detected += outcome.detected
+        if attempts == 0:
+            pytest.skip("no target-referencing scripts in sample")
+        assert detected / attempts >= 0.5  # Figure 9: >66% within 8 steps
+
+
+class TestRecommendedParameters:
+    def test_table2_applied_to_built_corpora(self, medical_competition):
+        vocab = CorpusVocabulary.from_scripts(medical_competition.scripts)
+        stats = vocab.stats()
+        config = recommend_parameters(stats.n_scripts, stats.uniq_edges)
+        assert config.seq in (8, 16)
+        assert config.beam_size in (1, 3)
+
+
+class TestModelIntentEndToEnd:
+    def test_standardize_with_model_intent(self, medical_competition):
+        system = LucidScript(
+            medical_competition.scripts[1:],
+            data_dir=medical_competition.data_dir,
+            intent=ModelPerformanceIntent(
+                target="Outcome", tau=2.0, task="classification"
+            ),
+            config=LSConfig(seq=4, beam_size=1, sample_rows=150),
+        )
+        result = system.standardize(medical_competition.scripts[0])
+        assert result.intent_satisfied
+        assert result.improvement >= 0.0

@@ -1,0 +1,95 @@
+"""Every step template must execute on its competition's dataset.
+
+The slot pools and rare pools are the raw material for corpus generation
+and for LucidScript's add transformations — a template that cannot run is
+dead vocabulary.  This suite executes each template (preceded by the
+standard load) against freshly generated data.
+
+Rare steps are allowed to *conditionally* fail only when they reference a
+column another step may have dropped; standalone (right after load) they
+must all succeed.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.sandbox import run_script
+from repro.workloads import RARE_POOLS, SLOT_POOLS, SPECS
+
+_DATA_CACHE = {}
+
+
+def data_dir_for(name: str, tmp_root: str = "/tmp/repro-step-tests") -> str:
+    if name not in _DATA_CACHE:
+        spec = SPECS[name]
+        rng = np.random.default_rng(0)
+        directory = os.path.join(tmp_root, name)
+        os.makedirs(directory, exist_ok=True)
+        frame = spec.generator(rng, min(spec.n_rows, 2000))
+        frame.to_csv(os.path.join(directory, spec.data_file))
+        _DATA_CACHE[name] = directory
+    return _DATA_CACHE[name]
+
+
+def _all_slot_steps():
+    for name, slots in SLOT_POOLS.items():
+        for slot in slots:
+            for source, _prob in slot.alternatives:
+                yield pytest.param(name, source, id=f"{name}:{source[:48]}")
+
+
+def _all_rare_steps():
+    for name, steps in RARE_POOLS.items():
+        for source in steps:
+            yield pytest.param(name, source, id=f"{name}:rare:{source[:44]}")
+
+
+HEADER = "import pandas as pd\ndf = pd.read_csv('train.csv')\n"
+
+
+@pytest.mark.parametrize("competition,step", list(_all_slot_steps()))
+def test_slot_step_executes(competition, step):
+    script = HEADER + step
+    result = run_script(script, data_dir=data_dir_for(competition), sample_rows=300)
+    assert result.ok, f"{result.error!r} for step {step!r}"
+    assert result.output is not None
+
+
+@pytest.mark.parametrize("competition,step", list(_all_rare_steps()))
+def test_rare_step_executes_standalone(competition, step):
+    script = HEADER + step
+    result = run_script(script, data_dir=data_dir_for(competition), sample_rows=300)
+    assert result.ok, f"{result.error!r} for step {step!r}"
+
+
+@pytest.mark.parametrize("competition", sorted(SLOT_POOLS))
+def test_full_slot_sequence_executes(competition):
+    """All majority alternatives combined, in slot order, must compose."""
+    steps = [
+        max(slot.alternatives, key=lambda alt: alt[1])[0]
+        for slot in SLOT_POOLS[competition]
+    ]
+    script = HEADER + "\n".join(steps)
+    result = run_script(script, data_dir=data_dir_for(competition), sample_rows=300)
+    assert result.ok, f"{result.error!r}\n{script}"
+    assert len(result.output) > 0
+
+
+@pytest.mark.parametrize("competition", sorted(SLOT_POOLS))
+def test_target_survives_majority_pipeline(competition):
+    """The prediction target must survive the majority preparation steps
+    (otherwise the y/X split tail could never execute)."""
+    spec = SPECS[competition]
+    steps = [
+        max(slot.alternatives, key=lambda alt: alt[1])[0]
+        for slot in SLOT_POOLS[competition]
+    ]
+    script = (
+        HEADER
+        + "\n".join(steps)
+        + f"\ny = df['{spec.target}']\nX = df.drop('{spec.target}', axis=1)"
+    )
+    result = run_script(script, data_dir=data_dir_for(competition), sample_rows=300)
+    assert result.ok, f"{result.error!r}\n{script}"

@@ -1,0 +1,212 @@
+"""Tests for the synthetic competition workloads (Section 6.1.3 stand-in)."""
+
+import numpy as np
+import pytest
+
+from repro.lang import CorpusVocabulary, lemmatize
+from repro.sandbox import run_script
+from repro.workloads import (
+    SLOT_POOLS,
+    SPECS,
+    StepSlot,
+    build_competition,
+    competition_names,
+)
+from repro.workloads.datasets import (
+    generate_house,
+    generate_medical,
+    generate_nlp,
+    generate_sales,
+    generate_spaceship,
+    generate_titanic,
+)
+from repro.workloads.schemas import CompetitionSpec
+
+
+class TestSpecs:
+    def test_six_competitions(self):
+        assert sorted(competition_names()) == [
+            "house", "medical", "nlp", "sales", "spaceship", "titanic",
+        ]
+
+    def test_table3_corpus_size_ordering(self):
+        """Titanic has the most scripts, NLP close to fewest (Table 3)."""
+        sizes = {name: SPECS[name].n_scripts for name in SPECS}
+        assert sizes["titanic"] == 62
+        assert sizes["house"] == 49
+        assert sizes["medical"] == 47
+        assert sizes["spaceship"] == 38
+        assert sizes["sales"] == 26
+        assert sizes["nlp"] == 24
+
+    def test_sales_is_largest_data(self):
+        rows = {name: SPECS[name].n_rows for name in SPECS}
+        assert rows["sales"] == max(rows.values())
+
+    def test_targets_and_tasks(self):
+        assert SPECS["titanic"].target == "Survived"
+        assert SPECS["house"].task == "regression"
+        assert SPECS["sales"].task == "regression"
+        assert SPECS["medical"].task == "classification"
+
+    def test_slot_probability_validation(self):
+        with pytest.raises(ValueError):
+            StepSlot("impute", (("df = df.dropna()", 0.7), ("df = df.fillna(0)", 0.5)))
+
+    def test_slot_group_validation(self):
+        with pytest.raises(ValueError):
+            StepSlot("bogus", (("x = 1", 0.5),))
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            CompetitionSpec(
+                name="x", target="y", task="clustering", n_rows=100, n_scripts=5,
+                data_file="t.csv", generator=generate_medical,
+                slots=(), rare_steps=(),
+            )
+
+
+class TestDataGenerators:
+    @pytest.mark.parametrize(
+        "generator,target,n",
+        [
+            (generate_titanic, "Survived", 300),
+            (generate_house, "SalePrice", 300),
+            (generate_nlp, "target", 300),
+            (generate_spaceship, "Transported", 300),
+            (generate_medical, "Outcome", 300),
+            (generate_sales, "item_cnt_day", 300),
+        ],
+    )
+    def test_schema_and_size(self, generator, target, n):
+        frame = generator(np.random.default_rng(0), n)
+        assert len(frame) == n
+        assert target in frame.columns
+
+    def test_deterministic_given_seed(self):
+        a = generate_medical(np.random.default_rng(7), 100)
+        b = generate_medical(np.random.default_rng(7), 100)
+        assert a["Glucose"].tolist() == b["Glucose"].tolist()
+
+    def test_titanic_missing_structure(self):
+        frame = generate_titanic(np.random.default_rng(0), 500)
+        age_missing = frame["Age"].isnull().tolist().count(True) / 500
+        cabin_missing = frame["Cabin"].isnull().tolist().count(True) / 500
+        assert 0.1 < age_missing < 0.3
+        assert cabin_missing > 0.6
+
+    def test_titanic_target_learnable(self):
+        from repro.ml import evaluate_downstream
+
+        frame = generate_titanic(np.random.default_rng(0), 600)
+        usable = frame.drop(["Name", "Ticket", "Cabin", "PassengerId"], axis=1)
+        acc = evaluate_downstream(usable, "Survived").accuracy
+        assert acc > 0.6
+
+    def test_house_price_correlates_with_area(self):
+        frame = generate_house(np.random.default_rng(0), 500)
+        assert frame["SalePrice"].corr(frame["GrLivArea"]) > 0.5
+
+    def test_sales_has_returns_and_outliers(self):
+        frame = generate_sales(np.random.default_rng(0), 5000)
+        assert (frame["item_cnt_day"] < 0).any()
+        assert frame["item_price"].isnull().any()
+
+
+class TestBuildCompetition:
+    def test_build_writes_data_and_scripts(self, tmp_path):
+        corpus = build_competition("medical", str(tmp_path), seed=0, n_scripts=6)
+        assert len(corpus.scripts) == 6
+        assert len(corpus.votes) == 6
+        import os
+
+        assert os.path.exists(os.path.join(corpus.data_dir, "train.csv"))
+
+    def test_unknown_name_raises(self, tmp_path):
+        with pytest.raises(KeyError):
+            build_competition("bogus", str(tmp_path))
+
+    def test_deterministic_rebuild(self, tmp_path):
+        a = build_competition("nlp", str(tmp_path / "a"), seed=3, n_scripts=5)
+        b = build_competition("nlp", str(tmp_path / "b"), seed=3, n_scripts=5)
+        assert a.scripts == b.scripts
+        assert a.votes == b.votes
+
+    def test_different_seeds_differ(self, tmp_path):
+        a = build_competition("nlp", str(tmp_path / "a"), seed=1, n_scripts=5)
+        b = build_competition("nlp", str(tmp_path / "b"), seed=2, n_scripts=5)
+        assert a.scripts != b.scripts
+
+    def test_every_script_executes(self, medical_competition):
+        for script in medical_competition.scripts:
+            result = run_script(
+                script, data_dir=medical_competition.data_dir, sample_rows=100
+            )
+            assert result.ok, f"{result.error}\n{script}"
+            assert result.output is not None
+
+    def test_scripts_parse_and_lemmatize(self, medical_competition):
+        for script in medical_competition.scripts:
+            assert lemmatize(script)
+
+    def test_corpus_has_majority_and_minority_steps(self, medical_competition):
+        vocab = CorpusVocabulary.from_scripts(medical_competition.scripts)
+        freq = [
+            vocab.statement_frequency(sig) for sig in vocab.ngram_counts
+        ]
+        assert max(freq) > 0.5  # a common core exists
+        assert min(freq) < 0.3  # and a tail exists
+
+    def test_votes_correlate_with_majority_coverage(self, tmp_path):
+        corpus = build_competition("medical", str(tmp_path), seed=0, n_scripts=30)
+        assert max(corpus.votes) > min(corpus.votes)
+
+
+class TestCorpusScenarios:
+    def test_leave_one_out(self, medical_competition):
+        pairs = list(medical_competition.leave_one_out())
+        assert len(pairs) == len(medical_competition.scripts)
+        user, rest = pairs[0]
+        assert user not in rest or medical_competition.scripts.count(user) > 1
+        assert len(rest) == len(medical_competition.scripts) - 1
+
+    def test_small_corpus(self, medical_competition):
+        small = medical_competition.small(n=5, seed=0)
+        assert len(small.scripts) == 5
+        assert small.name.endswith("-small")
+        for script in small.scripts:
+            assert script in medical_competition.scripts
+
+    def test_small_corpus_deterministic(self, medical_competition):
+        assert medical_competition.small(5, seed=1).scripts == \
+               medical_competition.small(5, seed=1).scripts
+
+    def test_low_ranked_corpus(self, medical_competition):
+        low = medical_competition.low_ranked(fraction=0.3)
+        threshold = max(low.votes)
+        others = [
+            v for v in medical_competition.votes if v not in low.votes
+        ]
+        assert len(low.scripts) < len(medical_competition.scripts)
+        assert threshold <= max(medical_competition.votes)
+
+    def test_low_ranked_requires_votes(self, medical_competition):
+        from repro.workloads import ScriptCorpus
+
+        bare = ScriptCorpus(
+            name="x", target="t", task="classification",
+            data_dir=medical_competition.data_dir, data_file="train.csv",
+            scripts=list(medical_competition.scripts),
+        )
+        with pytest.raises(ValueError):
+            bare.low_ranked()
+
+    def test_votes_length_validated(self, medical_competition):
+        from repro.workloads import ScriptCorpus
+
+        with pytest.raises(ValueError):
+            ScriptCorpus(
+                name="x", target="t", task="classification",
+                data_dir=medical_competition.data_dir, data_file="train.csv",
+                scripts=["a", "b"], votes=[1],
+            )
