@@ -1,0 +1,89 @@
+"""A tiny LRU cache with hit/miss accounting.
+
+Several hot paths keep bounded memo tables — the sandbox's parsed-CSV
+cache, the beam search's execution/statement memos, and the incremental
+executor's namespace snapshots.  They all share this one implementation so
+eviction is true LRU (lookups refresh recency) and hit rates are
+observable by :class:`repro.core.beam.SearchStats`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, Iterator, Optional
+
+__all__ = ["LRUCache"]
+
+_MISSING = object()
+
+
+class LRUCache:
+    """Bounded mapping with least-recently-used eviction.
+
+    A ``capacity`` of 0 disables storage entirely (every lookup misses),
+    which callers use as an off switch without branching at every site.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------- mapping api
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        value = self._entries.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return default
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def peek(self, key: Hashable, default: Any = None) -> Any:
+        """Lookup without touching recency or hit/miss counters."""
+        return self._entries.get(key, default)
+
+    def __setitem__(self, key: Hashable, value: Any) -> None:
+        if self.capacity == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._entries)
+
+    def pop(self, key: Hashable, default: Any = None) -> Any:
+        return self._entries.pop(key, default)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    # ------------------------------------------------------------- accounting
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "size": float(len(self._entries)),
+            "capacity": float(self.capacity),
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "evictions": float(self.evictions),
+            "hit_rate": self.hit_rate,
+        }

@@ -6,6 +6,17 @@ frontier.  ``GetSteps`` ranks legal next transformations by the relative
 entropy of the script they would produce; ``GetTopKBeams`` (optionally with
 the diversity clustering of Algorithm 3) extends the beam set; constraint
 verification happens early (α = on) or late.
+
+The execution-constraint hot path (Figure 7's dominant cost) runs through
+two engines layered under :meth:`BeamSearch.check_if_executes`:
+
+* an :class:`~repro.sandbox.IncrementalExecutor` resumes each candidate
+  from the longest snapshotted statement prefix — beam candidates share
+  prefixes by construction, because the monotone frontier moves edits
+  left-to-right;
+* with ``LSConfig.parallel_workers > 1``, each extension wave's checks are
+  speculatively fired as one batch over a process pool before admission,
+  which then proceeds serially in rank order (deterministic results).
 """
 
 from __future__ import annotations
@@ -14,10 +25,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from .._lru import LRUCache
 from ..lang.errors import ScriptError
 from ..lang.parser import Statement, compute_edge_counts
 from ..lang.vocabulary import CorpusVocabulary
-from ..sandbox import check_executes
+from ..sandbox import IncrementalExecutor, check_executes, check_executes_batch
 from .config import LSConfig
 from .diversity import cluster_transformations
 from .entropy import RelativeEntropyScorer
@@ -51,15 +63,39 @@ class Candidate:
 
 @dataclass
 class SearchStats:
-    """Runtime breakdown of one search (drives the Figure 7 reproduction)."""
+    """Runtime breakdown of one search (drives the Figure 7 reproduction).
+
+    Besides the four component timings, the stats expose the execution
+    engine's cache behaviour: prefix-snapshot hit rate and mean resumed
+    depth (the incremental executor), batch counts (the parallel path),
+    wall vs CPU time of the check loop, and the sizes/hit rates of the
+    per-search memo caches.
+    """
 
     get_steps_s: float = 0.0
     get_top_k_s: float = 0.0
     check_executes_s: float = 0.0
     verify_constraints_s: float = 0.0
+    check_executes_cpu_s: float = 0.0
     n_steps_enumerated: int = 0
     n_exec_checks: int = 0
     n_iterations: int = 0
+    n_exec_batches: int = 0
+    n_batched_checks: int = 0
+    max_beam_width: int = 0
+    prefix_cache_hits: int = 0
+    prefix_cache_misses: int = 0
+    prefix_mean_resume_depth: float = 0.0
+    prefix_fallbacks: int = 0
+    exec_cache_size: int = 0
+    exec_cache_hit_rate: float = 0.0
+    statement_cache_size: int = 0
+    statement_cache_hit_rate: float = 0.0
+
+    @property
+    def prefix_cache_hit_rate(self) -> float:
+        probes = self.prefix_cache_hits + self.prefix_cache_misses
+        return self.prefix_cache_hits / probes if probes else 0.0
 
     def total_s(self) -> float:
         return (
@@ -75,6 +111,15 @@ class SearchStats:
             "GetTopKBeams": self.get_top_k_s,
             "CheckIfExecutes": self.check_executes_s,
             "VerifyConstraints": self.verify_constraints_s,
+            "CheckIfExecutesCPU": self.check_executes_cpu_s,
+            "ExecBatches": float(self.n_exec_batches),
+            "BatchedChecks": float(self.n_batched_checks),
+            "PrefixCacheHitRate": self.prefix_cache_hit_rate,
+            "PrefixMeanResumeDepth": self.prefix_mean_resume_depth,
+            "ExecCacheSize": float(self.exec_cache_size),
+            "ExecCacheHitRate": self.exec_cache_hit_rate,
+            "StatementCacheSize": float(self.statement_cache_size),
+            "StatementCacheHitRate": self.statement_cache_hit_rate,
         }
 
 
@@ -88,6 +133,7 @@ class BeamSearch:
         config: LSConfig,
         data_dir: Optional[str] = None,
         exec_checker: Optional[Callable[[str], bool]] = None,
+        executor: Optional[IncrementalExecutor] = None,
     ):
         self.vocabulary = vocabulary
         self.scorer = scorer
@@ -101,13 +147,35 @@ class BeamSearch:
                 vocabulary, config.operation_groups, random_state=config.random_state
             )
         self._exec_checker = exec_checker
-        self._exec_cache: Dict[str, bool] = {}
-        self._statement_cache: Dict[str, Statement] = {}
+        self._executor = executor
+        if (
+            self._executor is None
+            and exec_checker is None
+            and config.incremental_exec
+        ):
+            self._executor = IncrementalExecutor(
+                data_dir=data_dir,
+                sample_rows=config.sample_rows,
+                snapshot_budget=config.snapshot_budget,
+            )
+        # executors may be shared across searches; stats report deltas
+        self._executor_baseline = (
+            dict(self._executor.stats.as_dict()) if self._executor else {}
+        )
+        self._exec_cache: LRUCache = LRUCache(self.EXEC_CACHE_LIMIT)
+        self._statement_cache: LRUCache = LRUCache(self.STATEMENT_CACHE_LIMIT)
         self._archive: Dict[str, Candidate] = {}
         self.stats = SearchStats()
 
     #: Upper bound on archived candidates handed to constraint verification.
     ARCHIVE_LIMIT = 64
+
+    #: Capacity of the per-search memo caches.  A search touches a few
+    #: hundred distinct sources/statements; the bound only matters for
+    #: long-lived searches (large seq × beam × corpus), which previously
+    #: grew these dicts without limit.
+    EXEC_CACHE_LIMIT = 4096
+    STATEMENT_CACHE_LIMIT = 2048
 
     # ------------------------------------------------------------- components
     def _band(self, score: float) -> int:
@@ -125,25 +193,32 @@ class BeamSearch:
 
     def check_if_executes(self, source: str) -> bool:
         """CheckIfExecutes() with memoization across the whole search."""
-        if source in self._exec_cache:
-            return self._exec_cache[source]
-        start = time.perf_counter()
+        cached = self._exec_cache.get(source)
+        if cached is not None:
+            return cached
+        wall = time.perf_counter()
+        cpu = time.process_time()
         if self._exec_checker is not None:
             ok = self._exec_checker(source)
+        elif self._executor is not None:
+            ok = self._executor.check_executes(source)
         else:
             ok = check_executes(
                 source, data_dir=self.data_dir, sample_rows=self.config.sample_rows
             )
-        self.stats.check_executes_s += time.perf_counter() - start
+        self.stats.check_executes_s += time.perf_counter() - wall
+        self.stats.check_executes_cpu_s += time.process_time() - cpu
         self.stats.n_exec_checks += 1
         self._exec_cache[source] = ok
         return ok
 
     def _parsed_statement(self, source: str) -> Statement:
         """Parse-once cache for add-candidate statements."""
-        if source not in self._statement_cache:
-            self._statement_cache[source] = Statement.from_source(0, source)
-        return self._statement_cache[source]
+        statement = self._statement_cache.get(source)
+        if statement is None:
+            statement = Statement.from_source(0, source)
+            self._statement_cache[source] = statement
+        return statement
 
     def _projected_score(
         self, statements: Sequence[Statement], transformation: Transformation
@@ -208,6 +283,50 @@ class BeamSearch:
             score=score,
         )
 
+    def _prefetch_exec_checks(
+        self,
+        candidate: Candidate,
+        ranked: Sequence[Tuple[Transformation, float]],
+        known_sources: set,
+    ) -> None:
+        """Speculatively batch the wave's execution checks over the pool.
+
+        Builds every extension the admission loop may consider, fires the
+        uncached checks as one :func:`check_executes_batch`, and seeds the
+        memo cache.  Admission then runs serially in rank order against
+        cached verdicts, so the admitted set is identical to the serial
+        path — the batch only moves the sandbox work off the clock.
+        """
+        wave: List[str] = []
+        seen = set(known_sources)
+        for transformation, score in ranked:
+            try:
+                extended = self._extend(candidate, transformation, score)
+            except (ScriptError, IndexError, ValueError):
+                continue
+            source = extended.source()
+            if source in seen or source in self._exec_cache:
+                continue
+            seen.add(source)
+            wave.append(source)
+        if not wave:
+            return
+        wall = time.perf_counter()
+        cpu = time.process_time()
+        verdicts = check_executes_batch(
+            wave,
+            data_dir=self.data_dir,
+            sample_rows=self.config.sample_rows,
+            workers=self.config.parallel_workers,
+        )
+        self.stats.check_executes_s += time.perf_counter() - wall
+        self.stats.check_executes_cpu_s += time.process_time() - cpu
+        self.stats.n_exec_checks += len(wave)
+        self.stats.n_exec_batches += 1
+        self.stats.n_batched_checks += len(wave)
+        for source, ok in zip(wave, verdicts):
+            self._exec_cache[source] = ok
+
     def get_top_k_beams(
         self,
         beams: List[Candidate],
@@ -218,10 +337,22 @@ class BeamSearch:
         """Algorithm 2: extend *candidate* by each ranked transformation,
         admitting a new script when it beats the current worst beam (or the
         beam set is not yet full), after the optional early execution check.
+
+        The beam set never exceeds ``beam_size``: when full, a newcomer
+        either replaces the evicted worst member or — if it *is* the worst
+        — goes straight to the archive without entering the beam set.
         """
         start = time.perf_counter()
         beams = list(beams)
         sources = {b.source() for b in beams}
+        if (
+            self.config.early_check
+            and self.config.parallel_workers > 1
+            and self._exec_checker is None
+        ):
+            self.stats.get_top_k_s += time.perf_counter() - start
+            self._prefetch_exec_checks(candidate, ranked, sources)
+            start = time.perf_counter()
         admitted = 0
         for transformation, score in ranked:
             if admitted >= k:
@@ -229,7 +360,7 @@ class BeamSearch:
             worst = max(b.score for b in beams) if beams else float("inf")
             if not (
                 self._band(score) <= self._band(worst)
-                or len(beams) <= self.config.beam_size
+                or len(beams) < self.config.beam_size
             ):
                 continue
             extended = self._extend(candidate, transformation, score)
@@ -243,14 +374,17 @@ class BeamSearch:
                 start = time.perf_counter()
                 if not valid:
                     continue
-            beams.append(extended)
-            sources.add(source)
             self._archive.setdefault(source, extended)
             admitted += 1
-            if len(beams) > self.config.beam_size:
+            if len(beams) >= self.config.beam_size:
                 beams.sort(key=self._beam_key)
+                if self._beam_key(extended) >= self._beam_key(beams[-1]):
+                    continue  # would be evicted immediately; archive only
                 dropped = beams.pop()
                 sources.discard(dropped.source())
+            beams.append(extended)
+            sources.add(source)
+            self.stats.max_beam_width = max(self.stats.max_beam_width, len(beams))
         self.stats.get_top_k_s += time.perf_counter() - start
         return beams
 
@@ -276,6 +410,33 @@ class BeamSearch:
             beams = self.get_top_k_beams(beams, candidate, cluster_ranked, per_cluster)
         return beams
 
+    def sync_cache_stats(self) -> None:
+        """Fold cache/executor counters into :attr:`stats`.
+
+        Incremental executors may be shared across searches (the
+        standardizer reuses one so constraint verification resumes from
+        prefixes the beam search already snapshotted), so prefix counters
+        report the delta since this search started.
+        """
+        stats = self.stats
+        stats.exec_cache_size = len(self._exec_cache)
+        stats.exec_cache_hit_rate = self._exec_cache.hit_rate
+        stats.statement_cache_size = len(self._statement_cache)
+        stats.statement_cache_hit_rate = self._statement_cache.hit_rate
+        if self._executor is None:
+            return
+        current = self._executor.stats.as_dict()
+        base = self._executor_baseline
+        hits = current["prefix_hits"] - base.get("prefix_hits", 0.0)
+        misses = current["prefix_misses"] - base.get("prefix_misses", 0.0)
+        resumed = current["resumed_statements"] - base.get("resumed_statements", 0.0)
+        stats.prefix_cache_hits = int(hits)
+        stats.prefix_cache_misses = int(misses)
+        stats.prefix_mean_resume_depth = resumed / hits if hits else 0.0
+        stats.prefix_fallbacks = int(
+            current["fallbacks"] - base.get("fallbacks", 0.0)
+        )
+
     # ----------------------------------------------------------------- search
     def search(self, statements: Sequence[Statement]) -> List[Candidate]:
         """Run the beam search and return candidates sorted by RE score.
@@ -296,6 +457,7 @@ class BeamSearch:
         )
         self._archive = {initial.source(): initial}
         beams = [initial]
+        self.stats.max_beam_width = max(self.stats.max_beam_width, len(beams))
         for _ in range(self.config.seq):
             self.stats.n_iterations += 1
             frontier_beams = list(beams)
@@ -321,4 +483,5 @@ class BeamSearch:
         candidates = candidates[: self.ARCHIVE_LIMIT]
         if all(c.source() != initial.source() for c in candidates):
             candidates.append(initial)  # the guaranteed fallback
+        self.sync_cache_stats()
         return candidates

@@ -47,6 +47,20 @@ class LSConfig:
         search-space reduction); None disables grouping.
     random_state:
         Seed for the diversity clustering and any sampling decisions.
+    parallel_workers:
+        Process-pool width for batched constraint checks.  1 (the
+        default) keeps the fully serial, bit-identical execution order;
+        larger values speculatively check candidate waves in parallel
+        while still admitting in rank order, so results stay
+        deterministic for a fixed seed.
+    incremental_exec:
+        Route CheckIfExecutes/VerifyConstraints through the
+        prefix-resumable :class:`repro.sandbox.IncrementalExecutor`
+        instead of cold re-execution from line 1.
+    snapshot_budget:
+        LRU capacity of the incremental executor's namespace-snapshot
+        store; 0 disables prefix resumption even when
+        ``incremental_exec`` is on.
     """
 
     seq: int = 16
@@ -59,6 +73,9 @@ class LSConfig:
     sample_rows: Optional[int] = 500
     operation_groups: Optional[int] = None
     random_state: int = 0
+    parallel_workers: int = 1
+    incremental_exec: bool = True
+    snapshot_budget: int = 64
 
     def __post_init__(self):
         if self.seq < 1:
@@ -73,6 +90,14 @@ class LSConfig:
             raise ValueError("score_band must be non-negative")
         if self.operation_groups is not None and self.operation_groups < 1:
             raise ValueError("operation_groups must be >= 1 when set")
+        if self.parallel_workers < 1:
+            raise ValueError(
+                f"parallel_workers must be >= 1, got {self.parallel_workers}"
+            )
+        if self.snapshot_budget < 0:
+            raise ValueError(
+                f"snapshot_budget must be >= 0, got {self.snapshot_budget}"
+            )
 
     @property
     def clusters(self) -> int:

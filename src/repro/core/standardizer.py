@@ -15,7 +15,8 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..lang import CorpusVocabulary, ScriptError, lemmatize, parse_script
 from ..minipandas import DataFrame
-from ..sandbox import run_script
+from ..sandbox import IncrementalExecutor, run_script
+from ..sandbox.runner import get_worker_pool
 from .beam import BeamSearch, Candidate, SearchStats
 from .config import LSConfig
 from .entropy import RelativeEntropyScorer, percent_improvement
@@ -23,6 +24,24 @@ from .intent import IntentMeasure
 from .transformations import Transformation
 
 __all__ = ["LucidScript", "StandardizationResult", "StandardizationError"]
+
+
+def _verify_candidate_task(args) -> bool:
+    """Top-level (picklable) constraint check for one candidate script.
+
+    Runs in a pool worker: execution constraint plus the optional intent
+    check against the original output.  Only a verdict crosses back to the
+    parent — the winning candidate's output is recomputed there, where the
+    incremental executor typically has its full prefix snapshotted.
+    """
+    source, data_dir, sample_rows, intent, original_output = args
+    result = run_script(source, data_dir=data_dir, sample_rows=sample_rows)
+    if not result.ok or result.output is None:
+        return False
+    if intent is None:
+        return True
+    _, ok = intent.check(original_output, result.output)
+    return ok
 
 
 class StandardizationError(ScriptError):
@@ -113,6 +132,29 @@ class LucidScript:
         self.data_dir = data_dir
         self.intent = intent
         self.config = config or LSConfig()
+        self._executor: Optional[IncrementalExecutor] = None
+
+    def _shared_executor(self) -> Optional[IncrementalExecutor]:
+        """One incremental executor per (data_dir, sample_rows) setting.
+
+        Shared between the beam search and constraint verification — and
+        across standardize() calls — so every phase resumes from prefixes
+        any earlier phase already snapshotted.  Rebuilt if the config's
+        sampling changes (snapshots are only valid within one setting).
+        """
+        if not self.config.incremental_exec:
+            return None
+        if (
+            self._executor is None
+            or self._executor.sample_rows != self.config.sample_rows
+            or self._executor._snapshots.capacity != self.config.snapshot_budget
+        ):
+            self._executor = IncrementalExecutor(
+                data_dir=self.data_dir,
+                sample_rows=self.config.sample_rows,
+                snapshot_budget=self.config.snapshot_budget,
+            )
+        return self._executor
 
     # ------------------------------------------------------------------ scoring
     def score(self, script: str) -> float:
@@ -139,12 +181,14 @@ class LucidScript:
             self.scorer,
             self.config,
             data_dir=self.data_dir,
+            executor=self._shared_executor(),
         )
         candidates = search.search(dag.statements)
         best = self._verify_all_constraints(
             candidates, normalized, original_output, search.stats
         )
         intent_delta, intent_ok = self._final_intent(best, normalized, original_output)
+        search.sync_cache_stats()  # fold verification-phase cache activity in
         return StandardizationResult(
             input_script=normalized,
             output_script=best.source(),
@@ -158,9 +202,13 @@ class LucidScript:
 
     # ----------------------------------------------------------------- helpers
     def _run(self, source: str) -> Optional[DataFrame]:
-        result = run_script(
-            source, data_dir=self.data_dir, sample_rows=self.config.sample_rows
-        )
+        executor = self._shared_executor()
+        if executor is not None:
+            result = executor.run_script(source)
+        else:
+            result = run_script(
+                source, data_dir=self.data_dir, sample_rows=self.config.sample_rows
+            )
         return result.output if result.ok else None
 
     def _verify_all_constraints(
@@ -175,9 +223,20 @@ class LucidScript:
         Candidates arrive sorted by RE score; the original script is always
         among them and trivially satisfies every constraint, so the search
         can never make the script less standard (Table 5: min = 0.0).
+
+        With ``parallel_workers > 1``, waves of candidates are checked
+        speculatively on the process pool, but the winner is still the
+        first valid candidate in score order — identical to the serial
+        walk for any worker count.
         """
         start = time.perf_counter()
         try:
+            if self.config.parallel_workers > 1 and len(candidates) > 2:
+                speculative = self._verify_parallel(
+                    candidates, original_source, original_output
+                )
+                if speculative is not None:
+                    return speculative
             for candidate in candidates:
                 source = candidate.source()
                 if source == original_source:
@@ -195,6 +254,56 @@ class LucidScript:
             )
         finally:
             stats.verify_constraints_s += time.perf_counter() - start
+
+    def _verify_parallel(
+        self,
+        candidates: List[Candidate],
+        original_source: str,
+        original_output: DataFrame,
+    ) -> Optional[Candidate]:
+        """Wave-parallel VerifyAllConstraints; None means "fall back serial".
+
+        Each wave batches the next ``2 × workers`` candidates (stopping at
+        the original script, which is trivially valid) onto the pool and
+        takes the first valid verdict in score order.  Pool failures —
+        unpicklable intents, broken workers — abandon speculation rather
+        than the search.
+        """
+        workers = self.config.parallel_workers
+        wave_size = max(2, workers * 2)
+        position = 0
+        try:
+            pool = get_worker_pool(workers)
+            while position < len(candidates):
+                wave = []
+                terminator = None
+                for candidate in candidates[position:position + wave_size]:
+                    if candidate.source() == original_source:
+                        terminator = candidate
+                        break
+                    wave.append(candidate)
+                tasks = [
+                    (
+                        c.source(),
+                        self.data_dir,
+                        self.config.sample_rows,
+                        self.intent,
+                        original_output,
+                    )
+                    for c in wave
+                ]
+                verdicts = list(pool.map(_verify_candidate_task, tasks))
+                for candidate, ok in zip(wave, verdicts):
+                    if ok:
+                        return candidate
+                if terminator is not None:
+                    return terminator
+                position += len(wave)
+        except StandardizationError:
+            raise
+        except Exception:  # noqa: BLE001 - degrade to the serial walk
+            return None
+        return None
 
     def _final_intent(
         self,

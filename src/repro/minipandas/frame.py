@@ -135,10 +135,21 @@ class DataFrame:
         return "\n".join(lines)
 
     def copy(self) -> "DataFrame":
-        return DataFrame(
-            {c: self._data[c].tolist() for c in self._columns},
-            index=self._index.tolist(),
-        )
+        """Structural copy: fresh per-column value lists, shared index.
+
+        The row :class:`Index` is immutable, so every column of the copy
+        (and the copy itself) shares one index object instead of
+        re-materializing label lists per column.  Mutation goes through
+        ``Series._values`` / ``DataFrame._data``, both of which are fresh,
+        so the copy is as independent as a deep copy — at a fraction of
+        the cost.  The sandbox's incremental executor leans on this to
+        snapshot namespaces between statements.
+        """
+        clone = DataFrame.__new__(DataFrame)
+        clone._columns = list(self._columns)
+        clone._index = self._index
+        clone._data = {c: self._data[c]._clone(self._index) for c in self._columns}
+        return clone
 
     # --------------------------------------------------------------- selection
     def __getitem__(self, key):

@@ -148,7 +148,20 @@ class Series:
         return "\n".join(lines)
 
     def copy(self) -> "Series":
-        return Series(list(self._values), index=self._index.tolist(), name=self.name)
+        return self._clone(self._index)
+
+    def _clone(self, index: Index) -> "Series":
+        """O(n) structural copy: fresh value list, shared immutable index.
+
+        ``Index`` is immutable, so sharing it is safe and skips rebuilding
+        the label list and position map on every copy.  This is the cheap
+        snapshot primitive behind the incremental sandbox executor.
+        """
+        clone = Series.__new__(Series)
+        clone._values = list(self._values)
+        clone._index = index
+        clone.name = self.name
+        return clone
 
     def tolist(self) -> List[Any]:
         return list(self._values)

@@ -2,9 +2,31 @@
 
 The execution-constraint oracle: candidate scripts are compiled and run with
 ``pandas`` mapped to :mod:`repro.minipandas` and CSV paths resolved against
-a per-run data directory.
+a per-run data directory.  Three entry points, fastest-first for the beam
+search hot path:
+
+* :class:`IncrementalExecutor` — statement-level execution with prefix
+  snapshots, so candidates sharing a prefix only pay for their suffix;
+* :func:`check_executes_batch` — a wave of checks over a process pool;
+* :func:`run_script` / :func:`check_executes` — the cold, single-script
+  oracle everything above reduces to.
 """
 
-from .runner import ExecutionResult, SandboxError, check_executes, run_script
+from .incremental import IncrementalExecutor, IncrementalStats
+from .runner import (
+    ExecutionResult,
+    SandboxError,
+    check_executes,
+    check_executes_batch,
+    run_script,
+)
 
-__all__ = ["ExecutionResult", "SandboxError", "check_executes", "run_script"]
+__all__ = [
+    "ExecutionResult",
+    "SandboxError",
+    "check_executes",
+    "check_executes_batch",
+    "run_script",
+    "IncrementalExecutor",
+    "IncrementalStats",
+]

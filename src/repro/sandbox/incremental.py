@@ -1,0 +1,404 @@
+"""Incremental, prefix-resumable sandbox execution.
+
+The beam search checks hundreds of candidate scripts per standardization
+run, and by construction the candidates share long statement prefixes: the
+search's frontier is monotone, so edits move left-to-right and every
+extension wave differs from its parent in a suffix only.  The classic
+sandbox re-executes each candidate from line 1; this module executes
+statement-by-statement, snapshotting the namespace after each statement,
+so a new candidate resumes from the longest cached prefix and only pays
+for its suffix.
+
+Correctness model
+-----------------
+Snapshots are only sound when re-running the prefix cold would reproduce
+the snapshot.  Three guards keep that true:
+
+* scripts whose text uses randomness (``import random``, ``np.random``)
+  bypass the executor entirely and run cold, as do runs with
+  ``extra_globals`` (injected objects cannot be keyed or safely copied);
+* namespace values are copied structurally with aliasing preserved
+  (one memo per freeze/thaw, shared with :func:`copy.deepcopy` for
+  uncommon types); values that cannot be safely copied — e.g. functions
+  defined by the script, whose ``__globals__`` binds the live namespace —
+  mark the prefix unsnapshottable, and execution simply continues without
+  caching deeper prefixes;
+* every snapshot stores a structural fingerprint of the namespace
+  (variable names, types, frame shapes).  A thaw that fails to reproduce
+  its fingerprint — the "snapshot-restore mismatch" escape hatch — drops
+  the snapshot and falls back to a full :func:`repro.sandbox.run_script`;
+* the snapshot store is pinned to the on-disk state of ``data_dir``
+  (per-CSV mtime/size): if a table file changes between runs, every
+  cached prefix is discarded before the next probe.
+
+An optional ``verify=True`` mode cross-checks every incremental result
+against a cold run (used by tests and the perf benchmark's self-audit).
+"""
+
+from __future__ import annotations
+
+import ast
+import copy
+import os
+import re as _re
+import types
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from .._lru import LRUCache
+from ..minipandas import DataFrame
+from ..minipandas.series import Series
+from .runner import (
+    ExecutionResult,
+    _SandboxPandas,
+    _select_output,
+    build_sandbox_namespace,
+    run_script,
+    script_error_line,
+)
+
+__all__ = ["IncrementalExecutor", "IncrementalStats"]
+
+#: Matches genuine randomness use (``import random``, ``random.random()``,
+#: ``np.random.seed``) but not the deterministic ``random_state=`` kwarg,
+#: because ``_`` is a word character and blocks the ``\b`` boundary.
+_RANDOM_PATTERN = _re.compile(r"\brandom\b")
+
+#: Types safe to share between snapshots without copying.
+_IMMUTABLE_TYPES = (
+    type(None), bool, int, float, complex, str, bytes, frozenset, range,
+    np.generic, np.dtype,
+)
+
+
+class _Unsnapshottable(Exception):
+    """A namespace value cannot be safely copied into a snapshot."""
+
+
+def _snapshot_value(value: Any, memo: Dict[int, Any]) -> Any:
+    """Structural copy of one namespace value, preserving aliasing.
+
+    *memo* maps ``id(original) -> copy`` (the same scheme
+    :func:`copy.deepcopy` uses, and is shared with it), so two names bound
+    to one frame stay bound to one copy after restore.
+    """
+    if isinstance(value, _IMMUTABLE_TYPES):
+        return value
+    prior = memo.get(id(value))
+    if prior is not None:
+        return prior
+    if isinstance(value, (types.ModuleType, _SandboxPandas, type)):
+        return value  # shared sandbox substrate, never script-mutable state
+    if isinstance(value, DataFrame):
+        clone = value.copy()
+    elif isinstance(value, Series):
+        clone = value.copy()
+    elif isinstance(value, np.ndarray):
+        clone = value.copy()
+    elif isinstance(value, list):
+        clone = []
+        memo[id(value)] = clone
+        clone.extend(_snapshot_value(v, memo) for v in value)
+        return clone
+    elif isinstance(value, dict):
+        clone = {}
+        memo[id(value)] = clone
+        for k, v in value.items():
+            clone[k] = _snapshot_value(v, memo)
+        return clone
+    elif isinstance(value, set):
+        clone = {_snapshot_value(v, memo) for v in value}
+    elif isinstance(value, tuple):
+        return tuple(_snapshot_value(v, memo) for v in value)
+    elif callable(value):
+        # a function def'd by the script closes over the live namespace;
+        # sharing or copying it would either leak or sever that binding
+        raise _Unsnapshottable(type(value).__name__)
+    else:
+        try:
+            clone = copy.deepcopy(value, memo)
+        except Exception as exc:  # noqa: BLE001 - any failure means "don't cache"
+            raise _Unsnapshottable(f"{type(value).__name__}: {exc}") from exc
+    memo[id(value)] = clone
+    return clone
+
+
+def _fingerprint(namespace: Dict[str, Any]) -> Tuple:
+    """Cheap structural signature used to detect restore mismatches."""
+    signature = []
+    for name in sorted(namespace):
+        if name in ("__builtins__", "__name__"):
+            continue
+        value = namespace[name]
+        if isinstance(value, DataFrame):
+            signature.append((name, "frame", tuple(value.columns), len(value)))
+        elif isinstance(value, Series):
+            signature.append((name, "series", value.name, len(value)))
+        else:
+            signature.append((name, type(value).__name__))
+    return tuple(signature)
+
+
+@dataclass
+class IncrementalStats:
+    """Counters reported into ``SearchStats`` and the perf benchmark."""
+
+    runs: int = 0
+    cold_runs: int = 0
+    prefix_hits: int = 0
+    prefix_misses: int = 0
+    resumed_statements: int = 0
+    executed_statements: int = 0
+    fallbacks: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        probes = self.prefix_hits + self.prefix_misses
+        return self.prefix_hits / probes if probes else 0.0
+
+    @property
+    def mean_resume_depth(self) -> float:
+        return self.resumed_statements / self.prefix_hits if self.prefix_hits else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "runs": float(self.runs),
+            "cold_runs": float(self.cold_runs),
+            "prefix_hits": float(self.prefix_hits),
+            "prefix_misses": float(self.prefix_misses),
+            "hit_rate": self.hit_rate,
+            "mean_resume_depth": self.mean_resume_depth,
+            "resumed_statements": float(self.resumed_statements),
+            "executed_statements": float(self.executed_statements),
+            "fallbacks": float(self.fallbacks),
+        }
+
+
+class IncrementalExecutor:
+    """Prefix-resumable :func:`run_script` for one (data_dir, sample_rows).
+
+    Parameters
+    ----------
+    data_dir, sample_rows:
+        Fixed per executor — they define the semantics of ``read_csv``
+        inside scripts, so snapshots are only valid within one setting.
+        Callers needing another setting build another executor.
+    snapshot_budget:
+        LRU capacity of the prefix-snapshot store.  0 disables resumption
+        (every run is a cold :func:`run_script`).
+    verify:
+        Cross-check each incremental result against a cold run and fall
+        back on mismatch.  Defeats the speedup; for audits and tests.
+    """
+
+    def __init__(
+        self,
+        data_dir: Optional[str] = None,
+        sample_rows: Optional[int] = None,
+        snapshot_budget: int = 64,
+        verify: bool = False,
+    ):
+        self.data_dir = data_dir
+        self.sample_rows = sample_rows
+        self.verify = verify
+        self._snapshots = LRUCache(snapshot_budget)
+        self._code_cache = LRUCache(512)
+        self._base_builtins = build_sandbox_namespace(data_dir, sample_rows)[
+            "__builtins__"
+        ]
+        self._data_state = self._data_dir_state()
+        self.stats = IncrementalStats()
+
+    # ------------------------------------------------------------------ public
+    def run_script(
+        self, source: str, extra_globals: Optional[Dict[str, Any]] = None
+    ) -> ExecutionResult:
+        """Drop-in for :func:`repro.sandbox.run_script` on this setting."""
+        self.stats.runs += 1
+        if (
+            extra_globals
+            or self._snapshots.capacity == 0
+            or _RANDOM_PATTERN.search(source)
+        ):
+            return self._cold(source, extra_globals)
+        state = self._data_dir_state()
+        if state != self._data_state:
+            # a data file changed under us: every cached prefix is stale
+            self._snapshots.clear()
+            self._data_state = state
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            return ExecutionResult(ok=False, error=exc, error_line=exc.lineno)
+        segments = [ast.get_source_segment(source, node) for node in tree.body]
+        if not segments or any(s is None for s in segments):
+            return self._cold(source, extra_globals)
+        prefix = tuple(segments)
+
+        namespace, resumed = self._resume(prefix)
+        if namespace is None and resumed < 0:
+            # fingerprint mismatch on thaw: the escape hatch
+            return self._cold(source, extra_globals, fallback=True)
+        if namespace is None:
+            namespace = self._fresh_namespace()
+            self.stats.prefix_misses += 1
+        else:
+            self.stats.prefix_hits += 1
+            self.stats.resumed_statements += resumed
+
+        result = self._execute_suffix(source, tree, prefix, namespace, resumed)
+        if self.verify and not self._matches_cold(source, result):
+            self._snapshots.clear()
+            return self._cold(source, extra_globals, fallback=True)
+        return result
+
+    def check_executes(self, source: str) -> bool:
+        """CheckIfExecutes() over the incremental path."""
+        result = self.run_script(source)
+        return result.ok and result.output is not None
+
+    def clear(self) -> None:
+        self._snapshots.clear()
+
+    def snapshot_count(self) -> int:
+        return len(self._snapshots)
+
+    # ---------------------------------------------------------------- internal
+    def _cold(
+        self,
+        source: str,
+        extra_globals: Optional[Dict[str, Any]] = None,
+        fallback: bool = False,
+    ) -> ExecutionResult:
+        self.stats.cold_runs += 1
+        if fallback:
+            self.stats.fallbacks += 1
+        return run_script(
+            source,
+            data_dir=self.data_dir,
+            sample_rows=self.sample_rows,
+            extra_globals=extra_globals,
+        )
+
+    def _data_dir_state(self) -> Tuple:
+        """Identity of every table file a script could read: snapshots made
+        against one state are invalid once any file changes on disk."""
+        if not self.data_dir:
+            return ()
+        entries = []
+        try:
+            for root, _dirs, files in os.walk(self.data_dir):
+                for name in files:
+                    if not name.endswith(".csv"):
+                        continue
+                    stat = os.stat(os.path.join(root, name))
+                    entries.append((root, name, stat.st_mtime_ns, stat.st_size))
+        except OSError:
+            return ()
+        return tuple(sorted(entries))
+
+    def _fresh_namespace(self) -> Dict[str, Any]:
+        return {
+            "__builtins__": dict(self._base_builtins),
+            "__name__": "__sandbox__",
+        }
+
+    def _resume(self, prefix: Tuple[str, ...]):
+        """Thaw the longest cached prefix; ``(None, 0)`` means cold start,
+        ``(None, -1)`` means a snapshot failed its fingerprint check."""
+        for depth in range(len(prefix), 0, -1):
+            entry = self._snapshots.peek(prefix[:depth])
+            if entry is None:
+                continue
+            self._snapshots.get(prefix[:depth])  # refresh LRU recency
+            frozen, fingerprint = entry
+            try:
+                namespace = self._thaw(frozen)
+            except Exception:  # noqa: BLE001 - corrupt snapshot: drop + cold
+                self._drop(prefix[:depth])
+                return None, -1
+            if _fingerprint(namespace) != fingerprint:
+                self._drop(prefix[:depth])
+                return None, -1
+            return namespace, depth
+        return None, 0
+
+    def _drop(self, key: Tuple[str, ...]) -> None:
+        self._snapshots.pop(key, None)
+
+    def _thaw(self, frozen: Dict[str, Any]) -> Dict[str, Any]:
+        namespace = self._fresh_namespace()
+        memo: Dict[int, Any] = {}
+        for name, value in frozen.items():
+            namespace[name] = _snapshot_value(value, memo)
+        return namespace
+
+    def _freeze(self, namespace: Dict[str, Any]):
+        frozen: Dict[str, Any] = {}
+        memo: Dict[int, Any] = {}
+        for name, value in namespace.items():
+            if name in ("__builtins__", "__name__"):
+                continue
+            frozen[name] = _snapshot_value(value, memo)
+        return frozen, _fingerprint(namespace)
+
+    def _compiled(self, segment: str, node: ast.stmt):
+        """Per-statement code object, keeping the original line numbers so
+        ``error_line`` matches a cold run's traceback exactly."""
+        key = (segment, node.lineno, node.col_offset)
+        code = self._code_cache.peek(key)
+        if code is None:
+            code = compile(
+                ast.Module(body=[node], type_ignores=[]), "<script>", "exec"
+            )
+            self._code_cache[key] = code
+        return code
+
+    def _execute_suffix(
+        self,
+        source: str,
+        tree: ast.Module,
+        prefix: Tuple[str, ...],
+        namespace: Dict[str, Any],
+        resumed: int,
+    ) -> ExecutionResult:
+        snapshottable = True
+        for position in range(resumed, len(tree.body)):
+            code = self._compiled(prefix[position], tree.body[position])
+            try:
+                exec(code, namespace)
+            except BaseException as exc:  # noqa: BLE001 - script failures are data
+                return ExecutionResult(
+                    ok=False, error=exc, error_line=script_error_line(exc)
+                )
+            self.stats.executed_statements += 1
+            if snapshottable:
+                try:
+                    self._snapshots[prefix[: position + 1]] = self._freeze(namespace)
+                except _Unsnapshottable:
+                    # keep executing; deeper prefixes just won't be cached
+                    snapshottable = False
+        namespace.pop("__builtins__", None)
+        return ExecutionResult(
+            ok=True, output=_select_output(namespace, source), namespace=namespace
+        )
+
+    def _matches_cold(self, source: str, result: ExecutionResult) -> bool:
+        cold = run_script(source, data_dir=self.data_dir, sample_rows=self.sample_rows)
+        if cold.ok != result.ok:
+            return False
+        if not cold.ok:
+            return type(cold.error) is type(result.error) and (
+                cold.error_line == result.error_line
+            )
+        if (cold.output is None) != (result.output is None):
+            return False
+        if cold.output is None:
+            return True
+        return (
+            cold.output.columns == result.output.columns
+            and cold.output.index.tolist() == result.output.index.tolist()
+            and cold.output.to_dict() == result.output.to_dict()
+        )

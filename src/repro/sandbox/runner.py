@@ -7,23 +7,36 @@ a per-run data directory with optional row sampling (Section 5.2 (5), used
 to keep constraint checks fast on large D_IN).
 
 The sandbox is the oracle behind LucidScript's *execution constraint*: a
-candidate script is valid iff :func:`run_script` reports success.
+candidate script is valid iff :func:`run_script` reports success.  Two
+higher-throughput entry points sit on top of the single-script path:
+:func:`check_executes_batch` fans a wave of candidate checks out over a
+persistent process pool (minipandas is pure Python, so threads would be
+GIL-bound), and :class:`repro.sandbox.incremental.IncrementalExecutor`
+resumes candidates from snapshots of shared statement prefixes.
 """
 
 from __future__ import annotations
 
 import ast
+import atexit
 import builtins
 import os
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from .. import minipandas
+from .._lru import LRUCache
 from ..minipandas import DataFrame
 
-__all__ = ["ExecutionResult", "SandboxError", "run_script", "check_executes"]
+__all__ = [
+    "ExecutionResult",
+    "SandboxError",
+    "run_script",
+    "check_executes",
+    "check_executes_batch",
+]
 
 #: Modules scripts may import, and what they resolve to.
 _ALLOWED_MODULES = {
@@ -55,22 +68,37 @@ class ExecutionResult:
 
 
 #: Parsed-CSV cache: beam search re-executes scripts against the same file
-#: dozens of times per search, and parsing dominates for large D_IN.
-#: Keyed by (path, mtime, size); holds the full parsed frame.
-_CSV_CACHE: Dict[tuple, DataFrame] = {}
-_CSV_CACHE_LIMIT = 8
+#: dozens of times per search, and parsing dominates for large D_IN.  True
+#: LRU (hits refresh recency), keyed by (path, mtime, size, sample_rows):
+#: the full parse is cached under sample_rows=None and each sampled view is
+#: cached under its own row cap, so repeated sampled reads of a large table
+#: don't re-draw the sample every call.
+_CSV_CACHE = LRUCache(capacity=16)
 
 
-def _read_csv_cached(path: str, **kwargs) -> DataFrame:
+def _load_table(path: str, sample_rows: Optional[int], **kwargs) -> DataFrame:
+    """Parsed (and optionally sampled) CSV; the caller must copy before
+    handing the frame to script code — cached objects are shared."""
     if kwargs:
-        return minipandas.read_csv(path, **kwargs)  # non-default reads bypass
+        frame = minipandas.read_csv(path, **kwargs)  # non-default reads bypass
+        if sample_rows is not None and len(frame) > sample_rows:
+            frame = frame.sample(n=sample_rows, random_state=0)
+        return frame
     stat = os.stat(path)
-    key = (os.path.abspath(path), stat.st_mtime_ns, stat.st_size)
-    if key not in _CSV_CACHE:
-        if len(_CSV_CACHE) >= _CSV_CACHE_LIMIT:
-            _CSV_CACHE.pop(next(iter(_CSV_CACHE)))
-        _CSV_CACHE[key] = minipandas.read_csv(path)
-    return _CSV_CACHE[key]
+    identity = (os.path.abspath(path), stat.st_mtime_ns, stat.st_size)
+    if sample_rows is not None:
+        sampled = _CSV_CACHE.get(identity + (sample_rows,))
+        if sampled is not None:
+            return sampled
+    full = _CSV_CACHE.get(identity + (None,))
+    if full is None:
+        full = minipandas.read_csv(path)
+        _CSV_CACHE[identity + (None,)] = full
+    if sample_rows is not None and len(full) > sample_rows:
+        sampled = full.sample(n=sample_rows, random_state=0)
+        _CSV_CACHE[identity + (sample_rows,)] = sampled
+        return sampled
+    return full
 
 
 class _ReadCsvResolver:
@@ -82,13 +110,9 @@ class _ReadCsvResolver:
 
     def __call__(self, path: str, **kwargs) -> DataFrame:
         resolved = self._resolve(path)
-        frame = _read_csv_cached(resolved, **kwargs)
-        if self.sample_rows is not None and len(frame) > self.sample_rows:
-            frame = frame.sample(n=self.sample_rows, random_state=0)
-        else:
-            # scripts mutate their frame; never hand out the cached object
-            frame = frame.copy()
-        return frame
+        frame = _load_table(resolved, self.sample_rows, **kwargs)
+        # scripts mutate their frame; never hand out the cached object
+        return frame.copy()
 
     def _resolve(self, path: str) -> str:
         if self.data_dir is None:
@@ -148,15 +172,17 @@ def _make_guarded_open(data_dir: Optional[str]):
 
     Candidate scripts come out of a search over corpus-derived code; they
     should never be able to write files or read outside their dataset.
+    Paths are fully resolved (symlinks and ``..`` collapsed) before the
+    prefix check so escapes like ``dir/../../etc/passwd`` cannot slip by.
     """
     real_open = open
 
     def guarded_open(file, mode="r", *args, **kwargs):
         if any(flag in mode for flag in ("w", "a", "x", "+")):
             raise PermissionError("the script sandbox is read-only")
-        path = os.path.abspath(os.fspath(file))
+        path = os.path.realpath(os.path.abspath(os.fspath(file)))
         if data_dir is not None:
-            root = os.path.abspath(data_dir)
+            root = os.path.realpath(os.path.abspath(data_dir))
             if not path.startswith(root + os.sep) and path != root:
                 raise PermissionError(
                     f"the script sandbox can only read from {root!r}"
@@ -164,6 +190,50 @@ def _make_guarded_open(data_dir: Optional[str]):
         return real_open(path, mode, *args, **kwargs)
 
     return guarded_open
+
+
+def build_sandbox_namespace(
+    data_dir: Optional[str] = None,
+    sample_rows: Optional[int] = None,
+    extra_globals: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """A fresh script namespace with guarded builtins wired in.
+
+    Shared by :func:`run_script` and the incremental executor so both
+    execute candidates under identical import/open/read_csv policies.
+    """
+    resolver = _ReadCsvResolver(data_dir, sample_rows)
+    sandbox_pd = _SandboxPandas(resolver)
+    module_table = dict(_ALLOWED_MODULES)
+    module_table["pandas"] = sandbox_pd
+
+    def guarded_import(name, globals=None, locals=None, fromlist=(), level=0):
+        root = name.split(".")[0]
+        if root in module_table:
+            return module_table[root]
+        raise ImportError(f"module {name!r} is not available inside the script sandbox")
+
+    sandbox_builtins = dict(vars(builtins))
+    sandbox_builtins["__import__"] = guarded_import
+    sandbox_builtins["open"] = _make_guarded_open(data_dir)
+    namespace: Dict[str, Any] = {
+        "__builtins__": sandbox_builtins,
+        "__name__": "__sandbox__",
+    }
+    if extra_globals:
+        namespace.update(extra_globals)
+    return namespace
+
+
+def script_error_line(exc: BaseException) -> Optional[int]:
+    """Deepest ``<script>`` frame in the exception's traceback."""
+    tb = exc.__traceback__
+    line = None
+    while tb is not None:
+        if tb.tb_frame.f_code.co_filename == "<script>":
+            line = tb.tb_lineno
+        tb = tb.tb_next
+    return line
 
 
 def run_script(
@@ -187,23 +257,7 @@ def run_script(
     extra_globals:
         Additional names injected into the script namespace.
     """
-    resolver = _ReadCsvResolver(data_dir, sample_rows)
-    sandbox_pd = _SandboxPandas(resolver)
-    module_table = dict(_ALLOWED_MODULES)
-    module_table["pandas"] = sandbox_pd
-
-    def guarded_import(name, globals=None, locals=None, fromlist=(), level=0):
-        root = name.split(".")[0]
-        if root in module_table:
-            return module_table[root]
-        raise ImportError(f"module {name!r} is not available inside the script sandbox")
-
-    sandbox_builtins = dict(vars(builtins))
-    sandbox_builtins["__import__"] = guarded_import
-    sandbox_builtins["open"] = _make_guarded_open(data_dir)
-    namespace: Dict[str, Any] = {"__builtins__": sandbox_builtins, "__name__": "__sandbox__"}
-    if extra_globals:
-        namespace.update(extra_globals)
+    namespace = build_sandbox_namespace(data_dir, sample_rows, extra_globals)
 
     try:
         code = compile(source, "<script>", "exec")
@@ -213,13 +267,7 @@ def run_script(
     try:
         exec(code, namespace)
     except BaseException as exc:  # noqa: BLE001 - any script failure is data
-        tb = exc.__traceback__
-        line = None
-        while tb is not None:
-            if tb.tb_frame.f_code.co_filename == "<script>":
-                line = tb.tb_lineno
-            tb = tb.tb_next
-        return ExecutionResult(ok=False, error=exc, error_line=line)
+        return ExecutionResult(ok=False, error=exc, error_line=script_error_line(exc))
 
     namespace.pop("__builtins__", None)
     return ExecutionResult(
@@ -240,3 +288,81 @@ def check_executes(
     """
     result = run_script(source, data_dir=data_dir, sample_rows=sample_rows)
     return result.ok and result.output is not None
+
+
+# --------------------------------------------------------------------------
+# Parallel batched checks
+# --------------------------------------------------------------------------
+
+#: Lazily-created persistent worker pool, shared by every batch call in the
+#: process (spawning a pool per beam-search wave would dwarf the win).
+_POOL = None
+_POOL_WORKERS = 0
+
+
+def _check_executes_task(args) -> bool:
+    """Top-level (picklable) worker for :func:`check_executes_batch`."""
+    source, data_dir, sample_rows = args
+    return check_executes(source, data_dir=data_dir, sample_rows=sample_rows)
+
+
+def get_worker_pool(workers: int):
+    """The process pool for batched constraint checks (created on demand).
+
+    Workers fork from the parent, so they inherit the parsed-CSV cache as
+    of pool creation; each worker then maintains its own cache copy.
+    """
+    global _POOL, _POOL_WORKERS
+    from concurrent.futures import ProcessPoolExecutor
+
+    if _POOL is not None and _POOL_WORKERS != workers:
+        _POOL.shutdown(wait=False, cancel_futures=True)
+        _POOL = None
+    if _POOL is None:
+        _POOL = ProcessPoolExecutor(max_workers=workers)
+        _POOL_WORKERS = workers
+    return _POOL
+
+
+def _shutdown_pool() -> None:
+    global _POOL
+    if _POOL is not None:
+        _POOL.shutdown(wait=False, cancel_futures=True)
+        _POOL = None
+
+
+atexit.register(_shutdown_pool)
+
+
+def check_executes_batch(
+    sources: Sequence[str],
+    data_dir: Optional[str] = None,
+    sample_rows: Optional[int] = 200,
+    workers: int = 1,
+) -> List[bool]:
+    """CheckIfExecutes() over a wave of candidate scripts.
+
+    With ``workers <= 1`` this is exactly a serial loop over
+    :func:`check_executes` (deterministic, no processes involved).  With
+    more workers the checks fan out over a persistent process pool;
+    results come back in input order, so callers that admit candidates in
+    rank order stay deterministic regardless of worker count.  Any pool
+    failure (broken worker, unpicklable payload) degrades to the serial
+    loop rather than failing the search.
+    """
+    sources = list(sources)
+    if workers <= 1 or len(sources) < 2:
+        return [
+            check_executes(s, data_dir=data_dir, sample_rows=sample_rows)
+            for s in sources
+        ]
+    tasks = [(s, data_dir, sample_rows) for s in sources]
+    try:
+        pool = get_worker_pool(workers)
+        return list(pool.map(_check_executes_task, tasks))
+    except Exception:  # noqa: BLE001 - degrade to the always-correct path
+        _shutdown_pool()
+        return [
+            check_executes(s, data_dir=data_dir, sample_rows=sample_rows)
+            for s in sources
+        ]

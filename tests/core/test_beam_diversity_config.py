@@ -118,9 +118,13 @@ class TestSearch:
         assert search.stats.get_steps_s > 0
         assert search.stats.n_iterations >= 1
         breakdown = search.stats.breakdown()
-        assert set(breakdown) == {
+        assert set(breakdown) >= {
             "GetSteps", "GetTopKBeams", "CheckIfExecutes", "VerifyConstraints"
         }
+        # the execution-engine counters ride along in the same breakdown
+        assert {"PrefixCacheHitRate", "ExecCacheHitRate", "ExecBatches"} <= set(
+            breakdown
+        )
 
     def test_adds_respect_monotone_frontier(
         self, vocab, scorer, diabetes_dir, alex_script

@@ -129,6 +129,45 @@ class TestFileGuard:
         assert not result.ok
         assert result.error_type == "PermissionError"
 
+    def test_parent_traversal_blocked(self, diabetes_dir):
+        result = run_script(
+            "f = open('diabetes.csv/../../etc/passwd')", data_dir=diabetes_dir
+        )
+        assert not result.ok
+        assert result.error_type == "PermissionError"
+
+    def test_absolute_path_outside_blocked(self, diabetes_dir):
+        result = run_script("f = open('/etc/passwd')", data_dir=diabetes_dir)
+        assert not result.ok
+        assert result.error_type == "PermissionError"
+
+    def test_prefix_sibling_not_confused_with_root(self, tmp_path):
+        """/data/dir-evil must not pass a prefix check rooted at /data/dir."""
+        root = tmp_path / "data"
+        root.mkdir()
+        sibling = tmp_path / "data-evil"
+        sibling.mkdir()
+        (sibling / "secret.txt").write_text("secret")
+        result = run_script(
+            f"f = open({str(sibling / 'secret.txt')!r})", data_dir=str(root)
+        )
+        assert not result.ok
+        assert result.error_type == "PermissionError"
+
+    def test_symlink_escape_blocked(self, tmp_path):
+        """A symlink inside the data dir must not read outside it."""
+        root = tmp_path / "data"
+        root.mkdir()
+        outside = tmp_path / "outside.txt"
+        outside.write_text("secret")
+        import os
+        os.symlink(str(outside), str(root / "sneaky.txt"))
+        result = run_script(
+            f"f = open({str(root / 'sneaky.txt')!r})", data_dir=str(root)
+        )
+        assert not result.ok
+        assert result.error_type == "PermissionError"
+
     def test_read_inside_data_dir_allowed(self, diabetes_dir):
         script = (
             "import pandas as pd\n"
@@ -144,3 +183,57 @@ class TestFileGuard:
             os.chdir(cwd)
         assert result.ok
         assert "SkinThickness" in result.namespace["header"]
+
+
+class TestGuardedImport:
+    def test_numpy_submodule_import(self):
+        result = run_script(
+            "import numpy.linalg\nx = float(numpy.linalg.norm([3.0, 4.0]))"
+        )
+        assert result.ok
+        assert result.namespace["x"] == 5.0
+
+    def test_pandas_submodule_import_binds_proxy(self, diabetes_dir):
+        """``import pandas.api`` resolves to the sandbox pandas proxy —
+        the root binding still reads CSVs through the resolver."""
+        result = run_script(
+            "import pandas.api\ndf = pandas.read_csv('diabetes.csv')",
+            data_dir=diabetes_dir,
+        )
+        assert result.ok
+        assert "SkinThickness" in result.output.columns
+
+    def test_disallowed_submodule_blocked(self):
+        result = run_script("import os.path")
+        assert not result.ok
+        assert result.error_type == "ImportError"
+
+    def test_from_import_of_allowed_module(self):
+        result = run_script("from math import sqrt\nx = sqrt(9)")
+        assert result.ok
+        assert result.namespace["x"] == 3.0
+
+
+class TestErrorLines:
+    def test_error_line_in_middle_of_script(self, diabetes_dir):
+        script = (
+            "import pandas as pd\n"
+            "df = pd.read_csv('diabetes.csv')\n"
+            "df = df.drop('NoSuchColumn', axis=1)\n"
+            "df = df.fillna(df.mean())"
+        )
+        result = run_script(script, data_dir=diabetes_dir)
+        assert not result.ok
+        assert result.error_line == 3
+
+    def test_error_line_on_first_statement(self):
+        result = run_script("df = undefined_name\nx = 1")
+        assert not result.ok
+        assert result.error_type == "NameError"
+        assert result.error_line == 1
+
+    def test_syntax_error_line(self):
+        result = run_script("x = 1\ny = (")
+        assert not result.ok
+        assert result.error_type == "SyntaxError"
+        assert result.error_line == 2

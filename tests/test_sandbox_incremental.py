@@ -1,0 +1,302 @@
+"""Tests for the incremental executor, batched checks, and the LRU caches."""
+
+import os
+
+import pytest
+
+from repro._lru import LRUCache
+from repro.minipandas import DataFrame
+from repro.sandbox import (
+    IncrementalExecutor,
+    check_executes,
+    check_executes_batch,
+    run_script,
+)
+from repro.sandbox import runner as runner_module
+
+
+PREFIX = (
+    "import pandas as pd\n"
+    "df = pd.read_csv('diabetes.csv')\n"
+    "df = df.fillna(df.mean())\n"
+    "df = df[df['SkinThickness'] < 80]"
+)
+
+SUFFIXES = [
+    "df = df.dropna()",
+    "df = pd.get_dummies(df)",
+    "df = df.drop('Glucose', axis=1)",
+    "df = df.drop('NoSuchColumn', axis=1)",  # fails on its last line
+    "df = df[df['Age'] > 30]",
+    "df = df.reset_index()",
+]
+
+
+def _result_signature(result):
+    sig = (result.ok, result.error_type, result.error_line)
+    if result.ok and result.output is not None:
+        sig += (
+            tuple(result.output.columns),
+            result.output.index.tolist(),
+            tuple(tuple(v) for v in result.output.to_dict().values()),
+        )
+    return sig
+
+
+class TestLRUCache:
+    def test_capacity_bound(self):
+        cache = LRUCache(2)
+        cache["a"], cache["b"], cache["c"] = 1, 2, 3
+        assert len(cache) == 2
+        assert "a" not in cache
+        assert cache.evictions == 1
+
+    def test_hit_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache["a"], cache["b"] = 1, 2
+        assert cache.get("a") == 1  # refresh: "b" is now least recent
+        cache["c"] = 3
+        assert "a" in cache and "b" not in cache
+
+    def test_hit_rate_accounting(self):
+        cache = LRUCache(4)
+        cache["a"] = 1
+        cache.get("a")
+        cache.get("missing")
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_peek_does_not_touch_counters(self):
+        cache = LRUCache(4)
+        cache["a"] = 1
+        cache.peek("a")
+        cache.peek("missing")
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_zero_capacity_disables_storage(self):
+        cache = LRUCache(0)
+        cache["a"] = 1
+        assert "a" not in cache and len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(-1)
+
+
+class TestCsvCacheLRU:
+    """The parsed-CSV cache is a true LRU keyed on (identity, sample_rows)."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_cache(self):
+        runner_module._CSV_CACHE.clear()
+        yield
+        runner_module._CSV_CACHE.clear()
+
+    def test_sampled_and_full_reads_cached_separately(self, diabetes_dir):
+        path = os.path.join(diabetes_dir, "diabetes.csv")
+        full = runner_module._load_table(path, None)
+        sampled = runner_module._load_table(path, 50)
+        assert len(full) > 50 and len(sampled) == 50
+        # both variants live in the cache under distinct keys
+        assert len(runner_module._CSV_CACHE) == 2
+        assert runner_module._load_table(path, 50) is sampled
+        assert runner_module._load_table(path, None) is full
+
+    def test_sampled_read_is_deterministic_across_evictions(self, diabetes_dir):
+        path = os.path.join(diabetes_dir, "diabetes.csv")
+        first = runner_module._load_table(path, 50).index.tolist()
+        runner_module._CSV_CACHE.clear()
+        assert runner_module._load_table(path, 50).index.tolist() == first
+
+    def test_hot_file_survives_cache_pressure(self, tmp_path):
+        frame = DataFrame({"a": list(range(5))})
+        hot = str(tmp_path / "hot.csv")
+        frame.to_csv(hot)
+        cold_paths = []
+        for i in range(runner_module._CSV_CACHE.capacity - 1):
+            p = str(tmp_path / f"cold{i}.csv")
+            frame.to_csv(p)
+            cold_paths.append(p)
+        hot_frame = runner_module._load_table(hot, None)
+        for p in cold_paths:
+            runner_module._load_table(p, None)
+            # a FIFO would evict `hot` midway; LRU keeps it because we touch it
+            assert runner_module._load_table(hot, None) is hot_frame
+
+    def test_kwargs_bypass_cache(self, diabetes_dir):
+        path = os.path.join(diabetes_dir, "diabetes.csv")
+        runner_module._load_table(path, None, nrows=10)
+        assert len(runner_module._CSV_CACHE) == 0
+
+
+class TestIncrementalExecutor:
+    def test_matches_cold_run_on_shared_prefix_wave(self, diabetes_dir):
+        sources = [f"{PREFIX}\n{suffix}" for suffix in SUFFIXES]
+        cold = [run_script(s, data_dir=diabetes_dir, sample_rows=100) for s in sources]
+        executor = IncrementalExecutor(data_dir=diabetes_dir, sample_rows=100)
+        incremental = [executor.run_script(s) for s in sources]
+        for c, i in zip(cold, incremental):
+            assert _result_signature(c) == _result_signature(i)
+
+    def test_prefix_reuse_reported(self, diabetes_dir):
+        executor = IncrementalExecutor(data_dir=diabetes_dir, sample_rows=100)
+        for suffix in SUFFIXES:
+            executor.run_script(f"{PREFIX}\n{suffix}")
+        assert executor.stats.prefix_hits == len(SUFFIXES) - 1
+        assert executor.stats.prefix_misses == 1
+        # every resumed run re-executed only its one-line suffix
+        assert executor.stats.mean_resume_depth == 4.0
+
+    def test_identical_script_is_a_full_prefix_hit(self, diabetes_dir):
+        executor = IncrementalExecutor(data_dir=diabetes_dir, sample_rows=100)
+        first = executor.run_script(PREFIX)
+        executed = executor.stats.executed_statements
+        second = executor.run_script(PREFIX)
+        assert executor.stats.executed_statements == executed  # zero new work
+        assert _result_signature(first) == _result_signature(second)
+
+    def test_error_line_matches_cold_run(self, diabetes_dir):
+        bad = PREFIX + "\ndf = df.dropna()\ndf = df.drop('Nope', axis=1)"
+        executor = IncrementalExecutor(data_dir=diabetes_dir, sample_rows=100)
+        executor.run_script(PREFIX + "\ndf = df.dropna()")  # warm the prefix
+        resumed = executor.run_script(bad)
+        cold = run_script(bad, data_dir=diabetes_dir, sample_rows=100)
+        assert not resumed.ok and not cold.ok
+        assert resumed.error_line == cold.error_line == 6
+        assert resumed.error_type == cold.error_type == "KeyError"
+
+    def test_outputs_are_independent_copies(self, diabetes_dir):
+        executor = IncrementalExecutor(data_dir=diabetes_dir, sample_rows=100)
+        first = executor.run_script(PREFIX)
+        first.output["Mutant"] = 1.0
+        second = executor.run_script(PREFIX)
+        assert "Mutant" not in second.output.columns
+
+    def test_aliasing_preserved_across_snapshots(self, diabetes_dir):
+        source = (
+            "import pandas as pd\n"
+            "df = pd.read_csv('diabetes.csv')\n"
+            "alias = df\n"
+            "df.loc[:, 'Glucose'] = 0.0\n"
+            "df = alias"
+        )
+        executor = IncrementalExecutor(data_dir=diabetes_dir, sample_rows=50)
+        executor.run_script(source[: source.rfind("\n")])  # snapshot the prefix
+        result = executor.run_script(source)
+        assert result.ok
+        assert set(result.output["Glucose"].tolist()) == {0.0}
+
+    def test_randomness_bypasses_snapshots(self, diabetes_dir):
+        source = (
+            "import random\n"
+            "import pandas as pd\n"
+            "df = pd.read_csv('diabetes.csv')\n"
+            "x = random.random()"
+        )
+        executor = IncrementalExecutor(data_dir=diabetes_dir, sample_rows=50)
+        result = executor.run_script(source)
+        assert result.ok
+        assert executor.stats.cold_runs == 1
+        assert executor.snapshot_count() == 0
+
+    def test_random_state_kwarg_does_not_bypass(self, diabetes_dir):
+        source = (
+            "import pandas as pd\n"
+            "df = pd.read_csv('diabetes.csv')\n"
+            "df = df.sample(n=20, random_state=0)"
+        )
+        executor = IncrementalExecutor(data_dir=diabetes_dir, sample_rows=50)
+        assert executor.run_script(source).ok
+        assert executor.stats.cold_runs == 0
+        assert executor.snapshot_count() > 0
+
+    def test_extra_globals_bypass_snapshots(self, diabetes_dir):
+        executor = IncrementalExecutor(data_dir=diabetes_dir, sample_rows=50)
+        result = executor.run_script("y = injected + 1", extra_globals={"injected": 1})
+        assert result.namespace["y"] == 2
+        assert executor.stats.cold_runs == 1
+
+    def test_snapshot_budget_bounds_store(self, diabetes_dir):
+        executor = IncrementalExecutor(
+            data_dir=diabetes_dir, sample_rows=50, snapshot_budget=3
+        )
+        for suffix in SUFFIXES:
+            executor.run_script(f"{PREFIX}\n{suffix}")
+        assert executor.snapshot_count() <= 3
+
+    def test_zero_budget_runs_cold(self, diabetes_dir):
+        executor = IncrementalExecutor(
+            data_dir=diabetes_dir, sample_rows=50, snapshot_budget=0
+        )
+        assert executor.run_script(PREFIX).ok
+        assert executor.stats.cold_runs == 1
+
+    def test_data_file_change_invalidates_snapshots(self, tmp_path):
+        data_dir = str(tmp_path)
+        DataFrame({"a": list(range(50))}).to_csv(str(tmp_path / "diabetes.csv"))
+        source = (
+            "import pandas as pd\n"
+            "df = pd.read_csv('diabetes.csv')\n"
+            "df = df.dropna()"
+        )
+        executor = IncrementalExecutor(data_dir=data_dir)
+        assert len(executor.run_script(source).output) == 50
+        DataFrame({"a": [1, 2]}).to_csv(str(tmp_path / "diabetes.csv"))
+        os.utime(str(tmp_path / "diabetes.csv"), (1, 1))  # distinct mtime
+        # the rewrite must not be served from a stale prefix snapshot
+        assert len(executor.run_script(source).output) == 2
+
+    def test_restore_mismatch_falls_back_to_cold_run(self, diabetes_dir, monkeypatch):
+        executor = IncrementalExecutor(data_dir=diabetes_dir, sample_rows=50)
+        executor.run_script(PREFIX)
+
+        def corrupt_thaw(frozen):
+            namespace = original_thaw(frozen)
+            namespace.pop("df", None)  # simulate a broken restore
+            return namespace
+
+        original_thaw = executor._thaw
+        monkeypatch.setattr(executor, "_thaw", corrupt_thaw)
+        result = executor.run_script(PREFIX + "\ndf = df.dropna()")
+        assert result.ok  # the escape hatch re-ran the script cold
+        assert executor.stats.fallbacks == 1
+
+    def test_verify_mode_agrees_with_cold(self, diabetes_dir):
+        executor = IncrementalExecutor(
+            data_dir=diabetes_dir, sample_rows=100, verify=True
+        )
+        for suffix in SUFFIXES:
+            executor.run_script(f"{PREFIX}\n{suffix}")
+        assert executor.stats.fallbacks == 0
+
+    def test_check_executes_parity(self, diabetes_dir):
+        executor = IncrementalExecutor(data_dir=diabetes_dir, sample_rows=100)
+        for suffix in SUFFIXES:
+            source = f"{PREFIX}\n{suffix}"
+            assert executor.check_executes(source) == check_executes(
+                source, data_dir=diabetes_dir, sample_rows=100
+            )
+
+    def test_syntax_error_reported(self, diabetes_dir):
+        executor = IncrementalExecutor(data_dir=diabetes_dir)
+        result = executor.run_script("x ===")
+        assert not result.ok and result.error_type == "SyntaxError"
+
+
+class TestCheckExecutesBatch:
+    def test_serial_matches_single_checks(self, diabetes_dir):
+        sources = [f"{PREFIX}\n{suffix}" for suffix in SUFFIXES]
+        expected = [check_executes(s, data_dir=diabetes_dir) for s in sources]
+        assert check_executes_batch(sources, data_dir=diabetes_dir, workers=1) == expected
+
+    def test_pool_matches_serial(self, diabetes_dir):
+        sources = [f"{PREFIX}\n{suffix}" for suffix in SUFFIXES]
+        serial = check_executes_batch(sources, data_dir=diabetes_dir, workers=1)
+        pooled = check_executes_batch(sources, data_dir=diabetes_dir, workers=2)
+        assert pooled == serial
+
+    def test_empty_and_singleton_batches(self, diabetes_dir):
+        assert check_executes_batch([], data_dir=diabetes_dir, workers=4) == []
+        assert check_executes_batch(
+            [PREFIX], data_dir=diabetes_dir, workers=4
+        ) == [True]
