@@ -17,6 +17,12 @@ two engines layered under :meth:`BeamSearch.check_if_executes`:
 * with ``LSConfig.parallel_workers > 1``, each extension wave's checks are
   speculatively fired as one batch over a process pool before admission,
   which then proceeds serially in rank order (deterministic results).
+
+Both engines run under optional execution budgets
+(``LSConfig.exec_timeout_s`` / ``statement_timeout_s``): a candidate that
+exceeds its budget fails ``CheckIfExecutes`` and is skipped — counted in
+``SearchStats.breakdown()`` (``ExecTimeouts``, ``WorkerRespawns``,
+``DegradedWaves``) but never fatal to the search.
 """
 
 from __future__ import annotations
@@ -29,7 +35,12 @@ from .._lru import LRUCache
 from ..lang.errors import ScriptError
 from ..lang.parser import Statement, compute_edge_counts
 from ..lang.vocabulary import CorpusVocabulary
-from ..sandbox import IncrementalExecutor, check_executes, check_executes_batch
+from ..sandbox import (
+    BatchReport,
+    IncrementalExecutor,
+    check_executes_batch,
+    run_script,
+)
 from .config import LSConfig
 from .diversity import cluster_transformations
 from .entropy import RelativeEntropyScorer
@@ -82,6 +93,9 @@ class SearchStats:
     n_iterations: int = 0
     n_exec_batches: int = 0
     n_batched_checks: int = 0
+    n_exec_timeouts: int = 0
+    n_worker_respawns: int = 0
+    n_degraded_waves: int = 0
     max_beam_width: int = 0
     prefix_cache_hits: int = 0
     prefix_cache_misses: int = 0
@@ -114,6 +128,9 @@ class SearchStats:
             "CheckIfExecutesCPU": self.check_executes_cpu_s,
             "ExecBatches": float(self.n_exec_batches),
             "BatchedChecks": float(self.n_batched_checks),
+            "ExecTimeouts": float(self.n_exec_timeouts),
+            "WorkerRespawns": float(self.n_worker_respawns),
+            "DegradedWaves": float(self.n_degraded_waves),
             "PrefixCacheHitRate": self.prefix_cache_hit_rate,
             "PrefixMeanResumeDepth": self.prefix_mean_resume_depth,
             "ExecCacheSize": float(self.exec_cache_size),
@@ -157,11 +174,16 @@ class BeamSearch:
                 data_dir=data_dir,
                 sample_rows=config.sample_rows,
                 snapshot_budget=config.snapshot_budget,
+                exec_timeout_s=config.exec_timeout_s,
+                statement_timeout_s=config.statement_timeout_s,
             )
         # executors may be shared across searches; stats report deltas
         self._executor_baseline = (
             dict(self._executor.stats.as_dict()) if self._executor else {}
         )
+        # timeouts observed outside the shared executor (cold checks, pool
+        # batches); sync_cache_stats adds the executor's delta on top
+        self._direct_timeouts = 0
         self._exec_cache: LRUCache = LRUCache(self.EXEC_CACHE_LIMIT)
         self._statement_cache: LRUCache = LRUCache(self.STATEMENT_CACHE_LIMIT)
         self._archive: Dict[str, Candidate] = {}
@@ -203,9 +225,15 @@ class BeamSearch:
         elif self._executor is not None:
             ok = self._executor.check_executes(source)
         else:
-            ok = check_executes(
-                source, data_dir=self.data_dir, sample_rows=self.config.sample_rows
+            result = run_script(
+                source,
+                data_dir=self.data_dir,
+                sample_rows=self.config.sample_rows,
+                timeout_s=self.config.exec_timeout_s,
             )
+            ok = result.ok and result.output is not None
+            if result.timed_out:
+                self._direct_timeouts += 1
         self.stats.check_executes_s += time.perf_counter() - wall
         self.stats.check_executes_cpu_s += time.process_time() - cpu
         self.stats.n_exec_checks += 1
@@ -313,17 +341,24 @@ class BeamSearch:
             return
         wall = time.perf_counter()
         cpu = time.process_time()
+        report = BatchReport()
         verdicts = check_executes_batch(
             wave,
             data_dir=self.data_dir,
             sample_rows=self.config.sample_rows,
             workers=self.config.parallel_workers,
+            timeout_s=self.config.exec_timeout_s,
+            respawn_limit=self.config.pool_respawn_limit,
+            report=report,
         )
         self.stats.check_executes_s += time.perf_counter() - wall
         self.stats.check_executes_cpu_s += time.process_time() - cpu
         self.stats.n_exec_checks += len(wave)
         self.stats.n_exec_batches += 1
         self.stats.n_batched_checks += len(wave)
+        self._direct_timeouts += report.timeouts
+        self.stats.n_worker_respawns += report.respawns
+        self.stats.n_degraded_waves += report.degraded
         for source, ok in zip(wave, verdicts):
             self._exec_cache[source] = ok
 
@@ -423,6 +458,7 @@ class BeamSearch:
         stats.exec_cache_hit_rate = self._exec_cache.hit_rate
         stats.statement_cache_size = len(self._statement_cache)
         stats.statement_cache_hit_rate = self._statement_cache.hit_rate
+        stats.n_exec_timeouts = self._direct_timeouts
         if self._executor is None:
             return
         current = self._executor.stats.as_dict()
@@ -435,6 +471,9 @@ class BeamSearch:
         stats.prefix_mean_resume_depth = resumed / hits if hits else 0.0
         stats.prefix_fallbacks = int(
             current["fallbacks"] - base.get("fallbacks", 0.0)
+        )
+        stats.n_exec_timeouts = self._direct_timeouts + int(
+            current["timeouts"] - base.get("timeouts", 0.0)
         )
 
     # ----------------------------------------------------------------- search

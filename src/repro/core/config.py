@@ -61,6 +61,21 @@ class LSConfig:
         LRU capacity of the incremental executor's namespace-snapshot
         store; 0 disables prefix resumption even when
         ``incremental_exec`` is on.
+    exec_timeout_s:
+        Wall-clock budget (seconds) for one candidate script inside
+        CheckIfExecutes/VerifyConstraints.  A candidate that exceeds it
+        fails the execution constraint (it is skipped and counted in
+        ``SearchStats.breakdown()``, never fatal).  None — the default —
+        disables the watchdog entirely, preserving the bit-identical
+        serial path.
+    statement_timeout_s:
+        Wall-clock budget for each individual statement on the
+        incremental execution path; tighter than ``exec_timeout_s`` when
+        a single statement is the pathology.  None disables it.
+    pool_respawn_limit:
+        How many times one batched check may hard-kill and respawn the
+        worker pool (hung or broken workers) before degrading to the
+        serial loop.  0 degrades on the first pool fault.
     """
 
     seq: int = 16
@@ -76,6 +91,9 @@ class LSConfig:
     parallel_workers: int = 1
     incremental_exec: bool = True
     snapshot_budget: int = 64
+    exec_timeout_s: Optional[float] = None
+    statement_timeout_s: Optional[float] = None
+    pool_respawn_limit: int = 1
 
     def __post_init__(self):
         if self.seq < 1:
@@ -97,6 +115,19 @@ class LSConfig:
         if self.snapshot_budget < 0:
             raise ValueError(
                 f"snapshot_budget must be >= 0, got {self.snapshot_budget}"
+            )
+        if self.exec_timeout_s is not None and self.exec_timeout_s <= 0:
+            raise ValueError(
+                f"exec_timeout_s must be positive when set, got {self.exec_timeout_s}"
+            )
+        if self.statement_timeout_s is not None and self.statement_timeout_s <= 0:
+            raise ValueError(
+                "statement_timeout_s must be positive when set, "
+                f"got {self.statement_timeout_s}"
+            )
+        if self.pool_respawn_limit < 0:
+            raise ValueError(
+                f"pool_respawn_limit must be >= 0, got {self.pool_respawn_limit}"
             )
 
     @property

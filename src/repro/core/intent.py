@@ -37,11 +37,10 @@ def _cell_set(frame: DataFrame, mode: str) -> Set:
             for v in frame[col]
         }
     if mode == "rows":
+        # materialize each column once instead of an .iloc wrapper per cell
+        columns = [frame[col].tolist() for col in frame.columns]
         return {
-            tuple(
-                "__NA__" if is_missing(frame[col].iloc[pos]) else frame[col].iloc[pos]
-                for col in frame.columns
-            )
+            tuple("__NA__" if is_missing(col[pos]) else col[pos] for col in columns)
             for pos in range(len(frame))
         }
     raise ValueError(f"unknown table-jaccard mode: {mode!r}")

@@ -16,7 +16,11 @@ from typing import List, Optional, Sequence, Tuple
 from ..lang import CorpusVocabulary, ScriptError, lemmatize, parse_script
 from ..minipandas import DataFrame
 from ..sandbox import IncrementalExecutor, run_script
-from ..sandbox.runner import get_worker_pool
+from ..sandbox.runner import (
+    FuturesTimeoutError,
+    get_worker_pool,
+    kill_worker_pool,
+)
 from .beam import BeamSearch, Candidate, SearchStats
 from .config import LSConfig
 from .entropy import RelativeEntropyScorer, percent_improvement
@@ -32,10 +36,15 @@ def _verify_candidate_task(args) -> bool:
     Runs in a pool worker: execution constraint plus the optional intent
     check against the original output.  Only a verdict crosses back to the
     parent — the winning candidate's output is recomputed there, where the
-    incremental executor typically has its full prefix snapshotted.
+    incremental executor typically has its full prefix snapshotted.  The
+    worker self-interrupts at *timeout_s* via the in-process watchdog, so
+    a pathological candidate fails its own verdict without hanging the
+    pool.
     """
-    source, data_dir, sample_rows, intent, original_output = args
-    result = run_script(source, data_dir=data_dir, sample_rows=sample_rows)
+    source, data_dir, sample_rows, intent, original_output, timeout_s = args
+    result = run_script(
+        source, data_dir=data_dir, sample_rows=sample_rows, timeout_s=timeout_s
+    )
     if not result.ok or result.output is None:
         return False
     if intent is None:
@@ -148,11 +157,15 @@ class LucidScript:
             self._executor is None
             or self._executor.sample_rows != self.config.sample_rows
             or self._executor._snapshots.capacity != self.config.snapshot_budget
+            or self._executor.exec_timeout_s != self.config.exec_timeout_s
+            or self._executor.statement_timeout_s != self.config.statement_timeout_s
         ):
             self._executor = IncrementalExecutor(
                 data_dir=self.data_dir,
                 sample_rows=self.config.sample_rows,
                 snapshot_budget=self.config.snapshot_budget,
+                exec_timeout_s=self.config.exec_timeout_s,
+                statement_timeout_s=self.config.statement_timeout_s,
             )
         return self._executor
 
@@ -185,7 +198,7 @@ class LucidScript:
         )
         candidates = search.search(dag.statements)
         best = self._verify_all_constraints(
-            candidates, normalized, original_output, search.stats
+            candidates, normalized, original_output, search
         )
         intent_delta, intent_ok = self._final_intent(best, normalized, original_output)
         search.sync_cache_stats()  # fold verification-phase cache activity in
@@ -207,7 +220,10 @@ class LucidScript:
             result = executor.run_script(source)
         else:
             result = run_script(
-                source, data_dir=self.data_dir, sample_rows=self.config.sample_rows
+                source,
+                data_dir=self.data_dir,
+                sample_rows=self.config.sample_rows,
+                timeout_s=self.config.exec_timeout_s,
             )
         return result.output if result.ok else None
 
@@ -216,7 +232,7 @@ class LucidScript:
         candidates: List[Candidate],
         original_source: str,
         original_output: DataFrame,
-        stats: SearchStats,
+        search: BeamSearch,
     ) -> Candidate:
         """VerifyAllConstraints(): return the most standard valid candidate.
 
@@ -227,13 +243,17 @@ class LucidScript:
         With ``parallel_workers > 1``, waves of candidates are checked
         speculatively on the process pool, but the winner is still the
         first valid candidate in score order — identical to the serial
-        walk for any worker count.
+        walk for any worker count.  A candidate that exceeds its execution
+        budget simply fails verification (serial: the watchdog interrupts
+        it; parallel: its worker self-interrupts, or the parent kills and
+        respawns a wedged pool).
         """
+        stats = search.stats
         start = time.perf_counter()
         try:
             if self.config.parallel_workers > 1 and len(candidates) > 2:
                 speculative = self._verify_parallel(
-                    candidates, original_source, original_output
+                    candidates, original_source, original_output, search
                 )
                 if speculative is not None:
                     return speculative
@@ -260,20 +280,26 @@ class LucidScript:
         candidates: List[Candidate],
         original_source: str,
         original_output: DataFrame,
+        search: BeamSearch,
     ) -> Optional[Candidate]:
         """Wave-parallel VerifyAllConstraints; None means "fall back serial".
 
         Each wave batches the next ``2 × workers`` candidates (stopping at
         the original script, which is trivially valid) onto the pool and
-        takes the first valid verdict in score order.  Pool failures —
-        unpicklable intents, broken workers — abandon speculation rather
-        than the search.
+        takes the first valid verdict in score order.  With an execution
+        budget set, a worker that does not answer in time is declared
+        hung: its candidate fails verification, the pool is hard-killed
+        and respawned, and the wave continues — until the respawn budget
+        runs out, at which point (as for any other pool failure) the
+        speculation is abandoned and the serial walk takes over.
         """
         workers = self.config.parallel_workers
         wave_size = max(2, workers * 2)
+        timeout_s = self.config.exec_timeout_s
+        parent_budget = timeout_s * 2 + 1.0 if timeout_s is not None else None
+        respawns = 0
         position = 0
         try:
-            pool = get_worker_pool(workers)
             while position < len(candidates):
                 wave = []
                 terminator = None
@@ -289,10 +315,42 @@ class LucidScript:
                         self.config.sample_rows,
                         self.intent,
                         original_output,
+                        timeout_s,
                     )
                     for c in wave
                 ]
-                verdicts = list(pool.map(_verify_candidate_task, tasks))
+                verdicts: List[Optional[bool]] = [None] * len(wave)
+                pending = list(range(len(wave)))
+                while pending:
+                    pool = get_worker_pool(workers)
+                    futures = {
+                        i: pool.submit(_verify_candidate_task, tasks[i])
+                        for i in pending
+                    }
+                    wave_failed = False
+                    for i in pending:
+                        try:
+                            verdicts[i] = futures[i].result(timeout=parent_budget)
+                        except FuturesTimeoutError:
+                            # hung candidate: fails verification, pool dies
+                            verdicts[i] = False
+                            search._direct_timeouts += 1
+                            wave_failed = True
+                            break
+                    if wave_failed:
+                        for i in pending:
+                            if verdicts[i] is None and futures[i].done():
+                                try:
+                                    verdicts[i] = futures[i].result(timeout=0)
+                                except Exception:  # noqa: BLE001
+                                    continue
+                        kill_worker_pool()
+                        respawns += 1
+                        search.stats.n_worker_respawns += 1
+                        if respawns > self.config.pool_respawn_limit:
+                            search.stats.n_degraded_waves += 1
+                            return None  # degrade to the serial walk
+                    pending = [i for i in pending if verdicts[i] is None]
                 for candidate, ok in zip(wave, verdicts):
                     if ok:
                         return candidate

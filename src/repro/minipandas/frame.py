@@ -318,10 +318,18 @@ class DataFrame:
     def dropna(
         self,
         axis: int = 0,
-        how: str = "any",
+        how: Optional[str] = None,
         subset: Optional[Sequence[str]] = None,
         thresh: Optional[int] = None,
     ) -> "DataFrame":
+        if how is not None and thresh is not None:
+            raise TypeError(
+                "You cannot set both the how and thresh arguments at the same time."
+            )
+        if how is None:
+            how = "any"
+        if thresh is None and how not in ("any", "all"):
+            raise ValueError(f"invalid how: {how!r}")
         if axis == 1:
             cols = []
             for c in self._columns:
@@ -334,7 +342,9 @@ class DataFrame:
                     if missing == 0:
                         cols.append(c)
                 else:
-                    if present > 0:
+                    # "all": drop only columns that are entirely missing; a
+                    # zero-row frame has no missing values, so keep every column
+                    if present > 0 or len(self) == 0:
                         cols.append(c)
             return self[cols]
         check_cols = list(subset) if subset is not None else list(self._columns)
@@ -353,11 +363,10 @@ class DataFrame:
             elif how == "any":
                 if missing == 0:
                     keep.append(pos)
-            elif how == "all":
-                if present > 0:
-                    keep.append(pos)
             else:
-                raise ValueError(f"invalid how: {how!r}")
+                # "all": a row over zero checked columns has nothing missing
+                if present > 0 or not check_cols:
+                    keep.append(pos)
         return self.take(keep)
 
     # -------------------------------------------------------------- reductions

@@ -48,7 +48,7 @@ def get_dummies(
         )
 
     if columns is None:
-        encode = [c for c in data.columns if data[c].dtype == "object"]
+        encode = [c for c in data.columns if data[c].dtype in ("object", "bool")]
     else:
         for c in columns:
             if c not in data.columns:

@@ -10,22 +10,35 @@ search hot path:
 * :func:`check_executes_batch` — a wave of checks over a process pool;
 * :func:`run_script` / :func:`check_executes` — the cold, single-script
   oracle everything above reduces to.
+
+Every entry point takes an optional wall-clock budget (``timeout_s`` /
+``exec_timeout_s``): a script that exceeds it fails with
+:class:`ExecTimeout` instead of hanging the search, and the batched path
+hard-kills and respawns hung pool workers (see :mod:`repro.sandbox.faults`
+for the failure taxonomy the budgets are tested against).  Budgets are
+off by default — the unbudgeted path is bit-identical to earlier builds.
 """
 
 from .incremental import IncrementalExecutor, IncrementalStats
 from .runner import (
+    BatchReport,
+    ExecTimeout,
     ExecutionResult,
     SandboxError,
     check_executes,
     check_executes_batch,
+    kill_worker_pool,
     run_script,
 )
 
 __all__ = [
+    "BatchReport",
+    "ExecTimeout",
     "ExecutionResult",
     "SandboxError",
     "check_executes",
     "check_executes_batch",
+    "kill_worker_pool",
     "run_script",
     "IncrementalExecutor",
     "IncrementalStats",

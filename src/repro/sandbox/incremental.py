@@ -41,6 +41,8 @@ import ast
 import copy
 import os
 import re as _re
+import sys
+import time
 import types
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
@@ -51,8 +53,10 @@ from .._lru import LRUCache
 from ..minipandas import DataFrame
 from ..minipandas.series import Series
 from .runner import (
+    ExecTimeout,
     ExecutionResult,
     _SandboxPandas,
+    _Watchdog,
     _select_output,
     build_sandbox_namespace,
     run_script,
@@ -152,6 +156,7 @@ class IncrementalStats:
     resumed_statements: int = 0
     executed_statements: int = 0
     fallbacks: int = 0
+    timeouts: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -173,6 +178,7 @@ class IncrementalStats:
             "resumed_statements": float(self.resumed_statements),
             "executed_statements": float(self.executed_statements),
             "fallbacks": float(self.fallbacks),
+            "timeouts": float(self.timeouts),
         }
 
 
@@ -191,6 +197,14 @@ class IncrementalExecutor:
     verify:
         Cross-check each incremental result against a cold run and fall
         back on mismatch.  Defeats the speedup; for audits and tests.
+    exec_timeout_s:
+        Wall-clock budget for one whole script; on expiry the run fails
+        with :class:`ExecTimeout` (counted in ``stats.timeouts``).  None
+        (the default) executes unwatched.
+    statement_timeout_s:
+        Wall-clock budget for each individual statement — tighter than
+        the script budget when one statement is the pathology (an
+        unbounded loop, a quadratic ``apply``).  None disables it.
     """
 
     def __init__(
@@ -199,10 +213,14 @@ class IncrementalExecutor:
         sample_rows: Optional[int] = None,
         snapshot_budget: int = 64,
         verify: bool = False,
+        exec_timeout_s: Optional[float] = None,
+        statement_timeout_s: Optional[float] = None,
     ):
         self.data_dir = data_dir
         self.sample_rows = sample_rows
         self.verify = verify
+        self.exec_timeout_s = exec_timeout_s
+        self.statement_timeout_s = statement_timeout_s
         self._snapshots = LRUCache(snapshot_budget)
         self._code_cache = LRUCache(512)
         self._base_builtins = build_sandbox_namespace(data_dir, sample_rows)[
@@ -275,12 +293,16 @@ class IncrementalExecutor:
         self.stats.cold_runs += 1
         if fallback:
             self.stats.fallbacks += 1
-        return run_script(
+        result = run_script(
             source,
             data_dir=self.data_dir,
             sample_rows=self.sample_rows,
             extra_globals=extra_globals,
+            timeout_s=self.exec_timeout_s,
         )
+        if result.timed_out:
+            self.stats.timeouts += 1
+        return result
 
     def _data_dir_state(self) -> Tuple:
         """Identity of every table file a script could read: snapshots made
@@ -365,14 +387,41 @@ class IncrementalExecutor:
         resumed: int,
     ) -> ExecutionResult:
         snapshottable = True
+        deadline = (
+            time.monotonic() + self.exec_timeout_s if self.exec_timeout_s else None
+        )
         for position in range(resumed, len(tree.body)):
             code = self._compiled(prefix[position], tree.body[position])
+            # per-statement budget, clipped to whatever script budget remains
+            budget = self.statement_timeout_s
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    self.stats.timeouts += 1
+                    exhausted = ExecTimeout(
+                        f"script exceeded its {self.exec_timeout_s:g}s execution budget"
+                    )
+                    return ExecutionResult(
+                        ok=False,
+                        error=exhausted,
+                        error_line=tree.body[position].lineno,
+                    )
+                budget = min(budget, remaining) if budget else remaining
+            watchdog = _Watchdog.arm(budget)
             try:
                 exec(code, namespace)
             except BaseException as exc:  # noqa: BLE001 - script failures are data
+                if watchdog is not None:
+                    sys.settrace(watchdog.prior)  # see _Watchdog's disarm protocol
+                if isinstance(exc, ExecTimeout):
+                    self.stats.timeouts += 1
                 return ExecutionResult(
                     ok=False, error=exc, error_line=script_error_line(exc)
                 )
+            finally:
+                if watchdog is not None:
+                    sys.settrace(watchdog.prior)
+                    watchdog.cancel()
             self.stats.executed_statements += 1
             if snapshottable:
                 try:
@@ -386,7 +435,12 @@ class IncrementalExecutor:
         )
 
     def _matches_cold(self, source: str, result: ExecutionResult) -> bool:
-        cold = run_script(source, data_dir=self.data_dir, sample_rows=self.sample_rows)
+        cold = run_script(
+            source,
+            data_dir=self.data_dir,
+            sample_rows=self.sample_rows,
+            timeout_s=self.exec_timeout_s,
+        )
         if cold.ok != result.ok:
             return False
         if not cold.ok:

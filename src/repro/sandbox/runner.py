@@ -21,6 +21,9 @@ import ast
 import atexit
 import builtins
 import os
+import sys
+import threading
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -33,6 +36,8 @@ from ..minipandas import DataFrame
 __all__ = [
     "ExecutionResult",
     "SandboxError",
+    "ExecTimeout",
+    "BatchReport",
     "run_script",
     "check_executes",
     "check_executes_batch",
@@ -52,6 +57,88 @@ class SandboxError(Exception):
     """The sandbox itself was misused (not a script failure)."""
 
 
+class ExecTimeout(BaseException):
+    """A sandboxed script exceeded its wall-clock execution budget.
+
+    Derives from :class:`BaseException` so a script-level ``except
+    Exception`` handler cannot swallow the interrupt; the sandbox itself
+    converts it into a failed :class:`ExecutionResult` like any other
+    script error, which is exactly how ``CheckIfExecutes`` wants a
+    pathological candidate (an unbounded loop, a quadratic ``apply``) to
+    surface: as a skippable failure, never as a hung search.
+    """
+
+
+class _Watchdog:
+    """Thread-based wall-clock budget for in-process script execution.
+
+    A daemon timer thread sets a flag at the deadline; a trace hook
+    installed on the executing thread checks the flag on every ``line``
+    event and raises :class:`ExecTimeout` inside the script frame, which
+    interrupts pure-Python hangs such as ``while True: pass``.  The hook
+    only exists while a budget is armed, so the budget-less default path
+    executes exactly as before (bit-identical, zero overhead).
+
+    Disarm protocol — the caller must restore the prior trace function
+    with ``sys.settrace(watchdog.prior)`` *inline in its own frame* (a C
+    call, invisible to the tracer) before calling any Python function;
+    otherwise a late-firing flag could raise inside cleanup code::
+
+        watchdog = _Watchdog.arm(timeout_s)
+        try:
+            exec(code, namespace)
+        except BaseException:
+            if watchdog is not None:
+                sys.settrace(watchdog.prior)   # before any Python call
+            ...
+        finally:
+            if watchdog is not None:
+                sys.settrace(watchdog.prior)
+                watchdog.cancel()
+
+    Known limitations: the tracer fires at Python line boundaries, so a
+    single long-running C call cannot be interrupted in-process, and a
+    script that catches ``BaseException`` inside an outer loop survives
+    the one-shot raise (CPython unsets a trace function that raises).
+    The process-pool path's kill-and-respawn covers both cases.
+    """
+
+    __slots__ = ("timeout_s", "prior", "_flag", "_timer")
+
+    def __init__(self, timeout_s, prior, flag, timer):
+        self.timeout_s = timeout_s
+        self.prior = prior
+        self._flag = flag
+        self._timer = timer
+
+    @classmethod
+    def arm(cls, timeout_s: Optional[float]) -> Optional["_Watchdog"]:
+        if not timeout_s or timeout_s <= 0:
+            return None
+        flag = threading.Event()
+        timer = threading.Timer(timeout_s, flag.set)
+        timer.daemon = True
+
+        def _interrupt(frame, event, arg):
+            if event == "line" and flag.is_set():
+                raise ExecTimeout(
+                    f"script exceeded its {timeout_s:g}s execution budget"
+                )
+            return _interrupt
+
+        watchdog = cls(timeout_s, sys.gettrace(), flag, timer)
+        timer.start()
+        sys.settrace(_interrupt)
+        return watchdog
+
+    @property
+    def expired(self) -> bool:
+        return self._flag.is_set()
+
+    def cancel(self) -> None:
+        self._timer.cancel()
+
+
 @dataclass
 class ExecutionResult:
     """Outcome of one sandboxed script run."""
@@ -65,6 +152,11 @@ class ExecutionResult:
     @property
     def error_type(self) -> Optional[str]:
         return type(self.error).__name__ if self.error is not None else None
+
+    @property
+    def timed_out(self) -> bool:
+        """Did the script blow its wall-clock budget (vs. a real error)?"""
+        return isinstance(self.error, ExecTimeout)
 
 
 #: Parsed-CSV cache: beam search re-executes scripts against the same file
@@ -241,6 +333,7 @@ def run_script(
     data_dir: Optional[str] = None,
     sample_rows: Optional[int] = None,
     extra_globals: Optional[Dict[str, Any]] = None,
+    timeout_s: Optional[float] = None,
 ) -> ExecutionResult:
     """Execute *source* in the sandbox and capture its output table.
 
@@ -256,6 +349,10 @@ def run_script(
         rows (deterministically) — the paper's sampling optimization.
     extra_globals:
         Additional names injected into the script namespace.
+    timeout_s:
+        Wall-clock budget for the whole script; on expiry the run fails
+        with :class:`ExecTimeout` (``result.timed_out``).  None (the
+        default) executes unwatched, exactly as before.
     """
     namespace = build_sandbox_namespace(data_dir, sample_rows, extra_globals)
 
@@ -264,10 +361,17 @@ def run_script(
     except SyntaxError as exc:
         return ExecutionResult(ok=False, error=exc, error_line=exc.lineno)
 
+    watchdog = _Watchdog.arm(timeout_s)
     try:
         exec(code, namespace)
     except BaseException as exc:  # noqa: BLE001 - any script failure is data
+        if watchdog is not None:
+            sys.settrace(watchdog.prior)  # see _Watchdog's disarm protocol
         return ExecutionResult(ok=False, error=exc, error_line=script_error_line(exc))
+    finally:
+        if watchdog is not None:
+            sys.settrace(watchdog.prior)
+            watchdog.cancel()
 
     namespace.pop("__builtins__", None)
     return ExecutionResult(
@@ -279,14 +383,17 @@ def check_executes(
     source: str,
     data_dir: Optional[str] = None,
     sample_rows: Optional[int] = 200,
+    timeout_s: Optional[float] = None,
 ) -> bool:
     """The paper's CheckIfExecutes(): does the script run without error?
 
     Uses aggressive row sampling by default — execution validity rarely
     depends on data volume, and this check runs inside the beam-search
-    inner loop.
+    inner loop.  A timed-out script simply fails the check.
     """
-    result = run_script(source, data_dir=data_dir, sample_rows=sample_rows)
+    result = run_script(
+        source, data_dir=data_dir, sample_rows=sample_rows, timeout_s=timeout_s
+    )
     return result.ok and result.output is not None
 
 
@@ -299,11 +406,37 @@ def check_executes(
 _POOL = None
 _POOL_WORKERS = 0
 
+#: Extra wall-clock grace the parent grants a worker beyond the script's own
+#: budget before declaring it hung: workers normally self-interrupt via the
+#: in-process watchdog, so the parent only fires when a worker is stuck in a
+#: C call or a watchdog-defeating loop.
+_HUNG_WORKER_GRACE_S = 1.0
 
-def _check_executes_task(args) -> bool:
-    """Top-level (picklable) worker for :func:`check_executes_batch`."""
-    source, data_dir, sample_rows = args
-    return check_executes(source, data_dir=data_dir, sample_rows=sample_rows)
+
+@dataclass
+class BatchReport:
+    """Fault accounting for one :func:`check_executes_batch` call.
+
+    Callers (the beam search) fold these into ``SearchStats`` so a run's
+    breakdown shows how often budgets fired and the pool self-healed.
+    """
+
+    timeouts: int = 0  #: scripts that blew their budget (worker- or parent-side)
+    respawns: int = 0  #: pool kill-and-respawn cycles (hung or broken workers)
+    degraded: int = 0  #: batches that fell back to the serial loop
+
+
+def _check_executes_task(args):
+    """Top-level (picklable) worker for :func:`check_executes_batch`.
+
+    Returns ``(verdict, timed_out)`` so the parent can account worker-side
+    budget expiries separately from ordinary script failures.
+    """
+    source, data_dir, sample_rows, timeout_s = args
+    result = run_script(
+        source, data_dir=data_dir, sample_rows=sample_rows, timeout_s=timeout_s
+    )
+    return bool(result.ok and result.output is not None), result.timed_out
 
 
 def get_worker_pool(workers: int):
@@ -331,7 +464,44 @@ def _shutdown_pool() -> None:
         _POOL = None
 
 
+def kill_worker_pool() -> None:
+    """Hard-kill the worker pool (hung workers ignore graceful shutdown).
+
+    ``shutdown(wait=False)`` alone leaves a worker spinning in
+    ``while True`` alive forever; SIGKILL-ing the processes is the only
+    reliable way to reclaim the slot.  The next :func:`get_worker_pool`
+    call respawns a fresh pool.
+    """
+    global _POOL
+    if _POOL is None:
+        return
+    processes = list(getattr(_POOL, "_processes", {}).values())
+    _POOL.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        if process.is_alive():
+            process.kill()
+    _POOL = None
+
+
 atexit.register(_shutdown_pool)
+
+
+def _serial_checks(
+    sources: Sequence[str],
+    data_dir: Optional[str],
+    sample_rows: Optional[int],
+    timeout_s: Optional[float],
+    report: Optional[BatchReport],
+) -> List[bool]:
+    verdicts = []
+    for source in sources:
+        result = run_script(
+            source, data_dir=data_dir, sample_rows=sample_rows, timeout_s=timeout_s
+        )
+        if report is not None and result.timed_out:
+            report.timeouts += 1
+        verdicts.append(bool(result.ok and result.output is not None))
+    return verdicts
 
 
 def check_executes_batch(
@@ -339,30 +509,110 @@ def check_executes_batch(
     data_dir: Optional[str] = None,
     sample_rows: Optional[int] = 200,
     workers: int = 1,
+    timeout_s: Optional[float] = None,
+    respawn_limit: int = 1,
+    report: Optional[BatchReport] = None,
 ) -> List[bool]:
     """CheckIfExecutes() over a wave of candidate scripts.
 
     With ``workers <= 1`` this is exactly a serial loop over
-    :func:`check_executes` (deterministic, no processes involved).  With
-    more workers the checks fan out over a persistent process pool;
-    results come back in input order, so callers that admit candidates in
-    rank order stay deterministic regardless of worker count.  Any pool
-    failure (broken worker, unpicklable payload) degrades to the serial
-    loop rather than failing the search.
+    :func:`run_script` (deterministic, no processes involved).  With more
+    workers the checks fan out over a persistent process pool; results
+    come back in input order, so callers that admit candidates in rank
+    order stay deterministic regardless of worker count.
+
+    Fault tolerance (all opt-in via *timeout_s* / *respawn_limit*):
+
+    * each worker runs its script under the in-process watchdog, so an
+      unbounded pure-Python loop fails its own check without touching
+      the pool;
+    * a worker that does not answer within ``2·timeout_s`` plus a grace
+      period (stuck in a C call, or defeating the watchdog) is declared
+      hung: its script is marked failed, the pool is hard-killed and
+      respawned, and the remaining unanswered checks are re-run — one
+      bad candidate never poisons the wave;
+    * pool-level failures (broken worker, unpicklable payload) are
+      retried on a fresh pool while respawn budget remains;
+    * once *respawn_limit* respawns are spent, the batch degrades to the
+      always-correct serial loop (still budget-guarded) for whatever is
+      left unanswered.
+
+    *report*, when provided, accumulates timeout/respawn/degradation
+    counts for the caller's stats.
     """
     sources = list(sources)
     if workers <= 1 or len(sources) < 2:
-        return [
-            check_executes(s, data_dir=data_dir, sample_rows=sample_rows)
-            for s in sources
-        ]
-    tasks = [(s, data_dir, sample_rows) for s in sources]
-    try:
-        pool = get_worker_pool(workers)
-        return list(pool.map(_check_executes_task, tasks))
-    except Exception:  # noqa: BLE001 - degrade to the always-correct path
-        _shutdown_pool()
-        return [
-            check_executes(s, data_dir=data_dir, sample_rows=sample_rows)
-            for s in sources
-        ]
+        return _serial_checks(sources, data_dir, sample_rows, timeout_s, report)
+
+    tasks = [(s, data_dir, sample_rows, timeout_s) for s in sources]
+    results: List[Optional[bool]] = [None] * len(sources)
+    # the parent waits out the worker's own budget (plus slack for queueing
+    # behind other tasks on the same worker) before calling it hung
+    parent_budget = (
+        timeout_s * 2 + _HUNG_WORKER_GRACE_S if timeout_s is not None else None
+    )
+    pending = list(range(len(sources)))
+    respawns = 0
+    while pending:
+        try:
+            pool = get_worker_pool(workers)
+            futures = {i: pool.submit(_check_executes_task, tasks[i]) for i in pending}
+        except Exception:  # noqa: BLE001 - broken pool at spawn/submit time
+            kill_worker_pool()
+            respawns += 1
+            if report is not None:
+                report.respawns += 1
+            if respawns > respawn_limit:
+                break
+            continue
+        answered: List[int] = []
+        wave_failed = False
+        for i in pending:
+            try:
+                verdict, worker_timed_out = futures[i].result(timeout=parent_budget)
+            except FuturesTimeoutError:
+                # hung worker: the script is charged with the timeout, and
+                # the pool (which still holds the spinning process) dies
+                results[i] = False
+                if report is not None:
+                    report.timeouts += 1
+                answered.append(i)
+                wave_failed = True
+                break
+            except Exception:  # noqa: BLE001 - broken pool / task crash
+                wave_failed = True
+                break
+            results[i] = verdict
+            if worker_timed_out and report is not None:
+                report.timeouts += 1
+            answered.append(i)
+        # harvest whatever else already finished before tearing down
+        if wave_failed:
+            for i in pending:
+                if results[i] is None and futures[i].done():
+                    try:
+                        verdict, worker_timed_out = futures[i].result(timeout=0)
+                    except Exception:  # noqa: BLE001 - crashed future
+                        continue
+                    results[i] = verdict
+                    if worker_timed_out and report is not None:
+                        report.timeouts += 1
+                    answered.append(i)
+        pending = [i for i in pending if results[i] is None]
+        if not wave_failed and not pending:
+            return [bool(v) for v in results]
+        kill_worker_pool()
+        respawns += 1
+        if report is not None:
+            report.respawns += 1
+        if respawns > respawn_limit:
+            break
+    if pending:
+        if report is not None:
+            report.degraded += 1
+        remainder = _serial_checks(
+            [sources[i] for i in pending], data_dir, sample_rows, timeout_s, report
+        )
+        for i, verdict in zip(pending, remainder):
+            results[i] = verdict
+    return [bool(v) for v in results]

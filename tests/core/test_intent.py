@@ -41,6 +41,19 @@ class TestTableJaccard:
         b = DataFrame({"x": [1, 9], "y": [3, 9]})
         assert table_jaccard(a, b, mode="rows") == pytest.approx(1 / 3)
 
+    def test_rows_mode_with_missing_values(self):
+        a = DataFrame({"x": [1, NA], "y": [NA, "q"]})
+        b = DataFrame({"x": [1, NA], "y": [NA, "q"]})
+        assert table_jaccard(a, b, mode="rows") == 1.0
+        c = DataFrame({"x": [1, 2], "y": [NA, "q"]})
+        assert table_jaccard(a, c, mode="rows") == pytest.approx(1 / 3)
+
+    def test_rows_mode_wide_frame(self):
+        # regression guard for the per-column materialization fast path
+        a = DataFrame({f"c{i}": list(range(20)) for i in range(12)})
+        b = a.take(list(range(10)))
+        assert table_jaccard(a, b, mode="rows") == pytest.approx(0.5)
+
     def test_missing_values_compare_equal(self):
         a = DataFrame({"x": [NA]})
         b = DataFrame({"x": [NA]})

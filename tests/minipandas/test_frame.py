@@ -214,6 +214,30 @@ class TestMissingData:
         with pytest.raises(ValueError):
             df.dropna(how="bogus")
 
+    def test_dropna_invalid_how_axis_1(self, df):
+        # validated upfront, not only on the row path
+        with pytest.raises(ValueError):
+            df.dropna(axis=1, how="bogus")
+
+    def test_dropna_how_and_thresh_raises(self, df):
+        with pytest.raises(TypeError):
+            df.dropna(how="any", thresh=1)
+
+    def test_dropna_axis_1_how_all_zero_rows_keeps_columns(self):
+        # a zero-row frame has no missing values: pandas keeps every column
+        frame = DataFrame({"a": [], "b": []})
+        out = frame.dropna(axis=1, how="all")
+        assert out.columns == ["a", "b"]
+        assert out.shape == (0, 2)
+
+    def test_dropna_axis_1_how_all_drops_all_missing_column(self):
+        frame = DataFrame({"a": [NA, NA], "b": [1, NA]})
+        assert frame.dropna(axis=1, how="all").columns == ["b"]
+
+    def test_dropna_how_all_empty_subset_keeps_rows(self):
+        frame = DataFrame({"a": [NA, 1.0]})
+        assert frame.dropna(how="all", subset=[]).shape == (2, 1)
+
 
 class TestReductions:
     def test_mean_numeric_only(self, df):

@@ -120,6 +120,22 @@ class TestGetDummies:
         out = pd.get_dummies(frame)
         assert out.columns == ["a"]
 
+    def test_encodes_bool_columns_by_default(self):
+        # pandas treats bool like object for default column selection
+        frame = DataFrame({"flag": [True, False, True], "n": [1, 2, 3]})
+        out = pd.get_dummies(frame)
+        assert sorted(out.columns) == ["flag_False", "flag_True", "n"]
+        assert out["flag_True"].tolist() == [1, 0, 1]
+        assert out["flag_False"].tolist() == [0, 1, 0]
+
+    def test_mixed_bool_object_numeric_default_selection(self):
+        frame = DataFrame(
+            {"b": [True, False], "s": ["x", "y"], "n": [0.5, 1.5]}
+        )
+        out = pd.get_dummies(frame)
+        assert "n" in out.columns
+        assert {"b_False", "b_True", "s_x", "s_y"} <= set(out.columns)
+
     def test_preserves_index(self):
         frame = DataFrame({"s": ["a", "b"]}, index=[5, 9])
         assert pd.get_dummies(frame).index.tolist() == [5, 9]

@@ -1,0 +1,275 @@
+"""Fault-tolerance tests for the sandbox execution-budget layer.
+
+Uses :mod:`repro.sandbox.faults` to plant deterministic pathologies
+(hangs, watchdog-defeating hangs, crashes, allocation churn) and checks
+that budgets interrupt them, the process pool self-heals around them,
+and healthy scripts are never affected.
+"""
+
+import sys
+import time
+
+import pytest
+
+from repro.sandbox import (
+    BatchReport,
+    ExecTimeout,
+    IncrementalExecutor,
+    check_executes_batch,
+    kill_worker_pool,
+    run_script,
+)
+from repro.sandbox import runner as runner_module
+from repro.sandbox.faults import (
+    FAULT_KINDS,
+    FaultInjectingExecutor,
+    fault_snippet,
+    inject_fault,
+    spin_snippet,
+)
+
+#: Tight budget for scripts that must time out; generous one for scripts
+#: that must not.  The hang tests assert wall-clock stays well under the
+#: generous bound, so a broken watchdog fails fast instead of wedging CI.
+BUDGET_S = 0.2
+GENEROUS_S = 30.0
+
+GOOD = "import pandas as pd\ndf = pd.DataFrame({'a': [1, 2]})"
+HANG = fault_snippet("hang") + "\ndf = 1"
+
+
+@pytest.fixture(autouse=True)
+def _fresh_pool():
+    """Never leak a pool with killed/hung workers into other tests."""
+    yield
+    kill_worker_pool()
+
+
+class TestWatchdog:
+    def test_hang_is_interrupted_within_budget(self):
+        start = time.monotonic()
+        result = run_script(HANG, timeout_s=BUDGET_S)
+        elapsed = time.monotonic() - start
+        assert not result.ok
+        assert result.timed_out
+        assert result.error_type == "ExecTimeout"
+        assert elapsed < GENEROUS_S / 2
+
+    def test_except_exception_cannot_swallow_the_interrupt(self):
+        script = (
+            "try:\n"
+            "    while True:\n"
+            "        pass\n"
+            "except Exception:\n"
+            "    pass\n"
+            "df = 1"
+        )
+        result = run_script(script, timeout_s=BUDGET_S)
+        assert result.timed_out
+
+    def test_finite_spin_passes_under_generous_budget(self):
+        source = spin_snippet(50_000) + "\n" + GOOD
+        result = run_script(source, timeout_s=GENEROUS_S)
+        assert result.ok
+        assert result.output is not None
+
+    def test_good_script_unchanged_by_budget(self):
+        plain = run_script(GOOD)
+        budgeted = run_script(GOOD, timeout_s=GENEROUS_S)
+        assert plain.ok and budgeted.ok
+        assert plain.output["a"].tolist() == budgeted.output["a"].tolist()
+
+    def test_no_budget_installs_no_trace(self):
+        prior = sys.gettrace()
+        result = run_script(GOOD)
+        assert result.ok
+        assert sys.gettrace() is prior
+
+    def test_trace_restored_after_timeout(self):
+        prior = sys.gettrace()
+        run_script(HANG, timeout_s=BUDGET_S)
+        assert sys.gettrace() is prior
+
+    def test_crash_fault_is_not_misclassified_as_timeout(self):
+        result = run_script(fault_snippet("crash"), timeout_s=GENEROUS_S)
+        assert not result.ok
+        assert not result.timed_out
+        assert result.error_type == "RuntimeError"
+
+    def test_oom_fault_is_interrupted(self):
+        result = run_script(fault_snippet("oom"), timeout_s=BUDGET_S)
+        assert result.timed_out
+
+    def test_timeout_reports_a_script_line(self):
+        result = run_script(HANG, timeout_s=BUDGET_S)
+        assert result.error_line is not None
+        assert result.error_line >= 1
+
+
+class TestInjectFault:
+    def test_prepends_at_position_zero(self):
+        out = inject_fault(GOOD, "crash", position=0)
+        assert out.splitlines()[0] == fault_snippet("crash")
+        assert out.endswith(GOOD.splitlines()[-1])
+
+    def test_huge_position_appends(self):
+        out = inject_fault(GOOD, "crash", position=10**9)
+        assert out.startswith(GOOD)
+        assert out.splitlines()[-1] == fault_snippet("crash")
+
+    def test_injected_script_still_parses(self):
+        import ast
+
+        for kind in FAULT_KINDS:
+            for position in (0, 1, 10**9):
+                ast.parse(inject_fault(GOOD, kind, position=position))
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            fault_snippet("segfault")
+        with pytest.raises(ValueError):
+            inject_fault(GOOD, "segfault")
+
+    def test_empty_source_becomes_the_fault(self):
+        assert inject_fault("", "crash") == fault_snippet("crash")
+
+
+class TestBatchBudgets:
+    def test_serial_batch_counts_timeouts(self):
+        report = BatchReport()
+        verdicts = check_executes_batch(
+            [GOOD, HANG, GOOD],
+            workers=1,
+            timeout_s=BUDGET_S,
+            report=report,
+        )
+        assert verdicts == [True, False, True]
+        assert report.timeouts == 1
+        assert report.respawns == 0
+        assert report.degraded == 0
+
+    def test_pool_worker_self_interrupts_without_respawn(self):
+        report = BatchReport()
+        verdicts = check_executes_batch(
+            [GOOD, HANG, GOOD],
+            workers=2,
+            timeout_s=BUDGET_S,
+            report=report,
+        )
+        assert verdicts == [True, False, True]
+        assert report.timeouts == 1
+        # the worker interrupted its own script: the pool never hung
+        assert report.respawns == 0
+
+    def test_stubborn_hang_forces_kill_and_respawn(self):
+        # defeats the in-process watchdog; only the parent's kill works
+        stubborn = fault_snippet("stubborn_hang") + "\ndf = 1"
+        report = BatchReport()
+        start = time.monotonic()
+        verdicts = check_executes_batch(
+            [GOOD, stubborn, GOOD],
+            workers=2,
+            timeout_s=BUDGET_S,
+            respawn_limit=2,
+            report=report,
+        )
+        elapsed = time.monotonic() - start
+        assert verdicts == [True, False, True]
+        assert report.timeouts >= 1
+        assert report.respawns >= 1
+        assert elapsed < GENEROUS_S / 2
+
+    def test_spawn_failure_degrades_to_serial(self, monkeypatch):
+        def broken_pool(workers):
+            raise RuntimeError("injected fault: pool spawn")
+
+        monkeypatch.setattr(runner_module, "get_worker_pool", broken_pool)
+        report = BatchReport()
+        verdicts = check_executes_batch(
+            [GOOD, GOOD, fault_snippet("crash")],
+            workers=2,
+            respawn_limit=0,
+            report=report,
+        )
+        assert verdicts == [True, True, False]
+        assert report.respawns == 1
+        assert report.degraded == 1
+
+    def test_pool_without_budget_unchanged(self):
+        report = BatchReport()
+        verdicts = check_executes_batch(
+            [GOOD, fault_snippet("crash"), GOOD],
+            workers=2,
+            report=report,
+        )
+        assert verdicts == [True, False, True]
+        assert report.timeouts == 0
+        assert report.respawns == 0
+        assert report.degraded == 0
+
+
+class TestIncrementalBudgets:
+    def test_script_budget_interrupts_and_counts(self):
+        executor = IncrementalExecutor(exec_timeout_s=BUDGET_S)
+        result = executor.run_script(HANG)
+        assert result.timed_out
+        assert executor.stats.timeouts == 1
+        assert executor.stats.as_dict()["timeouts"] == 1
+
+    def test_statement_budget_interrupts_the_hanging_statement(self):
+        source = GOOD + "\n" + fault_snippet("hang")
+        executor = IncrementalExecutor(statement_timeout_s=BUDGET_S)
+        result = executor.run_script(source)
+        assert result.timed_out
+        # the interrupt lands inside the hang loop, after the good prefix
+        assert result.error_line >= len(GOOD.splitlines()) + 1
+
+    def test_prefix_snapshot_survives_a_timed_out_suffix(self):
+        faulted = GOOD + "\n" + fault_snippet("hang")
+        executor = IncrementalExecutor(exec_timeout_s=BUDGET_S)
+        assert executor.run_script(faulted).timed_out
+        # the shared prefix still executes (and may resume from snapshot)
+        result = executor.run_script(GOOD + "\ndf2 = df")
+        assert result.ok
+
+    def test_no_budget_means_no_timeout_accounting(self):
+        executor = IncrementalExecutor()
+        assert executor.exec_timeout_s is None
+        assert executor.statement_timeout_s is None
+        result = executor.run_script(GOOD)
+        assert result.ok
+        assert executor.stats.timeouts == 0
+
+
+class TestFaultInjectingExecutor:
+    def test_injects_only_matching_scripts(self):
+        executor = FaultInjectingExecutor(
+            match="df.dropna", kind="crash", exec_timeout_s=GENEROUS_S
+        )
+        clean = executor.run_script(GOOD)
+        assert clean.ok
+        assert executor.injected_sources == []
+        target = GOOD + "\ndf = df.dropna()"
+        faulted = executor.run_script(target)
+        assert not faulted.ok
+        assert faulted.error_type == "RuntimeError"
+        assert executor.injected_sources == [target]
+
+    def test_predicate_match(self):
+        executor = FaultInjectingExecutor(
+            match=lambda src: src.count("\n") >= 2, kind="crash"
+        )
+        assert executor.run_script(GOOD).ok
+        assert not executor.run_script(GOOD + "\ndf = df").ok
+
+    def test_injected_hang_is_budgeted(self):
+        executor = FaultInjectingExecutor(
+            match="dropna", kind="hang", position=10**9, exec_timeout_s=BUDGET_S
+        )
+        result = executor.run_script(GOOD + "\ndf = df.dropna()")
+        assert result.timed_out
+        assert executor.stats.timeouts >= 1
+
+    def test_invalid_kind_rejected_eagerly(self):
+        with pytest.raises(ValueError):
+            FaultInjectingExecutor(match="x", kind="segfault")
