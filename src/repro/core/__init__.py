@@ -5,10 +5,15 @@ user-intent measures, transformation search (Algorithms 1-3), and the
 :class:`LucidScript` facade.
 """
 
-from .beam import BeamSearch, Candidate, SearchStats
+from .beam import BeamSearch, Candidate, ScoringMismatchError, SearchStats
 from .config import LSConfig, recommend_parameters
 from .diversity import cluster_transformations, kmeans, transformation_features
-from .entropy import RelativeEntropyScorer, percent_improvement, relative_entropy
+from .entropy import (
+    REStats,
+    RelativeEntropyScorer,
+    percent_improvement,
+    relative_entropy,
+)
 from .explain import TransformationExplanation, explain_result
 from .grouping import OperationGroups, group_operations
 from .intent import (
@@ -43,7 +48,9 @@ __all__ = [
     "LucidScript",
     "ModelPerformanceIntent",
     "OperationGroups",
+    "REStats",
     "RelativeEntropyScorer",
+    "ScoringMismatchError",
     "SearchStats",
     "StandardizationError",
     "StandardizationResult",

@@ -28,12 +28,13 @@ exceeds its budget fails ``CheckIfExecutes`` and is skipped — counted in
 from __future__ import annotations
 
 import time
+from bisect import insort
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .._lru import LRUCache
 from ..lang.errors import ScriptError
-from ..lang.parser import Statement, compute_edge_counts
+from ..lang.parser import EdgeDelta, EdgeState, Statement, compute_edge_counts
 from ..lang.vocabulary import CorpusVocabulary
 from ..sandbox import (
     BatchReport,
@@ -43,7 +44,7 @@ from ..sandbox import (
 )
 from .config import LSConfig
 from .diversity import cluster_transformations
-from .entropy import RelativeEntropyScorer
+from .entropy import REStats, RelativeEntropyScorer
 from .transformations import (
     ADD,
     DELETE,
@@ -52,7 +53,13 @@ from .transformations import (
     enumerate_transformations,
 )
 
-__all__ = ["Candidate", "SearchStats", "BeamSearch"]
+__all__ = ["Candidate", "ScoringMismatchError", "SearchStats", "BeamSearch"]
+
+
+class ScoringMismatchError(RuntimeError):
+    """Raised by ``LSConfig.verify_scoring`` when the O(Δ) incremental
+    score diverges from the full recount (a delta-engine bug, never a
+    legitimate runtime condition — hence not a swallowed ``ValueError``)."""
 
 
 @dataclass(frozen=True)
@@ -65,7 +72,14 @@ class Candidate:
     score: float
 
     def source(self) -> str:
-        return "\n".join(s.source for s in self.statements)
+        # memoized: the join is re-requested by ranking, prefetch waves,
+        # archive keys, and both verification walks for the same
+        # immutable candidate
+        cached = self.__dict__.get("_source")
+        if cached is None:
+            cached = "\n".join(s.source for s in self.statements)
+            object.__setattr__(self, "_source", cached)
+        return cached
 
     @property
     def n_transformations(self) -> int:
@@ -89,6 +103,9 @@ class SearchStats:
     verify_constraints_s: float = 0.0
     check_executes_cpu_s: float = 0.0
     n_steps_enumerated: int = 0
+    n_delta_scores: int = 0
+    n_full_recounts: int = 0
+    get_steps_speedup: float = 0.0
     n_exec_checks: int = 0
     n_iterations: int = 0
     n_exec_batches: int = 0
@@ -122,6 +139,9 @@ class SearchStats:
     def breakdown(self) -> Dict[str, float]:
         return {
             "GetSteps": self.get_steps_s,
+            "DeltaScoreHits": float(self.n_delta_scores),
+            "FullRecountFallbacks": float(self.n_full_recounts),
+            "GetStepsSpeedup": self.get_steps_speedup,
             "GetTopKBeams": self.get_top_k_s,
             "CheckIfExecutes": self.check_executes_s,
             "VerifyConstraints": self.verify_constraints_s,
@@ -186,6 +206,19 @@ class BeamSearch:
         self._direct_timeouts = 0
         self._exec_cache: LRUCache = LRUCache(self.EXEC_CACHE_LIMIT)
         self._statement_cache: LRUCache = LRUCache(self.STATEMENT_CACHE_LIMIT)
+        #: source -> (EdgeState, REStats): per-candidate scoring state for
+        #: the O(Δ) incremental path; a miss rebuilds via a full recount.
+        self._score_state_cache: LRUCache = LRUCache(self.SCORE_STATE_CACHE_LIMIT)
+        #: deltas of the current GetSteps wave, so admission can derive
+        #: the child's scoring state from the parent's without recounting
+        # keyed by id(transformation): proposals are unique objects per wave
+        # and stay alive in the ranked list, and identity lookups skip the
+        # frozen dataclass's field-tuple hashing on the hot path
+        self._wave_deltas: Dict[int, EdgeDelta] = {}
+        self._wave_parent_key: Optional[str] = None
+        # verify_scoring timing accumulators (drive GetStepsSpeedup)
+        self._delta_score_s = 0.0
+        self._full_score_s = 0.0
         self._archive: Dict[str, Candidate] = {}
         self.stats = SearchStats()
 
@@ -198,6 +231,7 @@ class BeamSearch:
     #: grew these dicts without limit.
     EXEC_CACHE_LIMIT = 4096
     STATEMENT_CACHE_LIMIT = 2048
+    SCORE_STATE_CACHE_LIMIT = 256
 
     # ------------------------------------------------------------- components
     def _band(self, score: float) -> int:
@@ -268,8 +302,94 @@ class BeamSearch:
             )
         return self.scorer.score_edge_counts(compute_edge_counts(virtual))
 
+    def _score_state(self, candidate: Candidate) -> Tuple[EdgeState, REStats]:
+        """The candidate's (edge state, sufficient statistics) pair.
+
+        Cache misses — the root candidate, or an entry evicted from the
+        bounded LRU — rebuild via one full recount, counted in
+        ``SearchStats.n_full_recounts``; everything else is either a hit
+        or derived from its parent by :meth:`_derive_child_state`.
+        """
+        key = candidate.source()
+        state = self._score_state_cache.get(key)
+        if state is None:
+            edge_state = EdgeState.from_statements(candidate.statements)
+            state = (edge_state, self.scorer.stats_from_counts(edge_state.counts))
+            self._score_state_cache[key] = state
+            self.stats.n_full_recounts += 1
+        return state
+
+    def _delta_for(
+        self, edge_state: EdgeState, transformation: Transformation
+    ) -> EdgeDelta:
+        if transformation.kind == DELETE:
+            return edge_state.delta_delete(transformation.position)
+        return edge_state.delta_insert(
+            transformation.position,
+            self._parsed_statement(transformation.statement_source),
+        )
+
+    def _delta_score(
+        self,
+        candidate: Candidate,
+        edge_state: EdgeState,
+        re_stats: REStats,
+        transformation: Transformation,
+    ) -> float:
+        """Score one transformation off the parent's state in O(Δ).
+
+        With ``verify_scoring`` on, the full recount runs alongside and
+        any divergence — in value *or* in raised-exception behaviour —
+        raises :class:`ScoringMismatchError` (bit-identity is the delta
+        engine's contract, so the comparison is exact, not approximate).
+        """
+        if not self.config.verify_scoring:
+            delta = self._delta_for(edge_state, transformation)
+            score = self.scorer.score_delta(re_stats, edge_state.counts, delta)
+            self._wave_deltas[id(transformation)] = delta
+            return score
+        started = time.perf_counter()
+        try:
+            delta = self._delta_for(edge_state, transformation)
+            score: Optional[float] = self.scorer.score_delta(
+                re_stats, edge_state.counts, delta
+            )
+            delta_error: Optional[BaseException] = None
+        except (ScriptError, IndexError, ValueError) as exc:
+            score, delta, delta_error = None, None, exc
+        self._delta_score_s += time.perf_counter() - started
+        started = time.perf_counter()
+        try:
+            full: Optional[float] = self._projected_score(
+                candidate.statements, transformation
+            )
+            full_error: Optional[BaseException] = None
+        except (ScriptError, IndexError, ValueError) as exc:
+            full, full_error = None, exc
+        self._full_score_s += time.perf_counter() - started
+        if (delta_error is None) != (full_error is None) or (
+            score is not None and score != full
+        ):
+            raise ScoringMismatchError(
+                f"incremental score {score!r} (error={delta_error!r}) != "
+                f"full recount {full!r} (error={full_error!r}) for "
+                f"{transformation.describe()} on:\n{candidate.source()}"
+            )
+        if delta_error is not None:
+            raise delta_error
+        self._wave_deltas[id(transformation)] = delta
+        return score  # type: ignore[return-value]
+
     def get_steps(self, candidate: Candidate) -> List[Tuple[Transformation, float]]:
-        """GetSteps(): rank legal next transformations by projected RE."""
+        """GetSteps(): rank legal next transformations by projected RE.
+
+        With ``LSConfig.incremental_scoring`` (the default), every
+        proposal is scored by the marginal-update engine: the candidate's
+        cached edge state yields an O(Δ) edge delta, and the sufficient-
+        statistics representation turns that into the new RE without
+        touching untouched edges.  The deltas are kept for the wave so a
+        winning extension's state derives from its parent's.
+        """
         start = time.perf_counter()
         added = {t.signature for t in candidate.applied if t.kind == ADD}
         deleted = {t.signature for t in candidate.applied if t.kind == DELETE}
@@ -281,10 +401,21 @@ class BeamSearch:
             forbidden_deletes=added,
             operation_groups=self.operation_groups,
         )
+        incremental = self.config.incremental_scoring
+        if incremental:
+            edge_state, re_stats = self._score_state(candidate)
+            self._wave_deltas = {}
+            self._wave_parent_key = candidate.source()
         ranked: List[Tuple[Transformation, float]] = []
         for transformation in raw:
             try:
-                score = self._projected_score(candidate.statements, transformation)
+                if incremental:
+                    score = self._delta_score(
+                        candidate, edge_state, re_stats, transformation
+                    )
+                    self.stats.n_delta_scores += 1
+                else:
+                    score = self._projected_score(candidate.statements, transformation)
             except (ScriptError, IndexError, ValueError):
                 continue
             ranked.append((transformation, score))
@@ -309,6 +440,34 @@ class BeamSearch:
             applied=candidate.applied + (transformation,),
             frontier=frontier,
             score=score,
+        )
+
+    def _derive_child_state(
+        self, parent: Candidate, transformation: Transformation, child: Candidate
+    ) -> None:
+        """Seed the child's scoring state by applying the winning delta.
+
+        Only called for candidates admitted to a beam (the ones GetSteps
+        will visit next iteration).  If the wave's delta or the parent's
+        state is gone (LRU eviction, different wave), the child simply
+        rebuilds lazily on its first GetSteps — a counted fallback, never
+        an error.
+        """
+        if not self.config.incremental_scoring:
+            return
+        key = child.source()
+        if key in self._score_state_cache:
+            return
+        if self._wave_parent_key != parent.source():
+            return
+        delta = self._wave_deltas.get(id(transformation))
+        parent_state = self._score_state_cache.peek(parent.source())
+        if delta is None or parent_state is None:
+            return
+        edge_state, re_stats = parent_state
+        self._score_state_cache[key] = (
+            edge_state.apply(delta),
+            self.scorer.apply_delta(re_stats, edge_state.counts, delta),
         )
 
     def _prefetch_exec_checks(
@@ -376,9 +535,17 @@ class BeamSearch:
         The beam set never exceeds ``beam_size``: when full, a newcomer
         either replaces the evicted worst member or — if it *is* the worst
         — goes straight to the archive without entering the beam set.
+
+        The beam set is kept sorted by the eviction key throughout, so
+        each admission decision reads the worst member in O(1) and each
+        insertion costs O(log K) comparisons (``insort``) instead of the
+        former per-candidate ``sort`` + ``max`` scan.  The stable upfront
+        sort preserves the legacy order among key-ties (both paths keep
+        equal-key members in insertion order), so admissions and
+        evictions are unchanged.
         """
         start = time.perf_counter()
-        beams = list(beams)
+        beams = sorted(beams, key=self._beam_key)
         sources = {b.source() for b in beams}
         if (
             self.config.early_check
@@ -392,9 +559,11 @@ class BeamSearch:
         for transformation, score in ranked:
             if admitted >= k:
                 break
-            worst = max(b.score for b in beams) if beams else float("inf")
-            if not (
-                self._band(score) <= self._band(worst)
+            # the tail of the kept-sorted beam set maximizes (band,
+            # frontier, score); band is monotone in score, so its band
+            # equals the band of the former max-score scan
+            if beams and not (
+                self._band(score) <= self._band(beams[-1].score)
                 or len(beams) < self.config.beam_size
             ):
                 continue
@@ -412,13 +581,13 @@ class BeamSearch:
             self._archive.setdefault(source, extended)
             admitted += 1
             if len(beams) >= self.config.beam_size:
-                beams.sort(key=self._beam_key)
                 if self._beam_key(extended) >= self._beam_key(beams[-1]):
                     continue  # would be evicted immediately; archive only
                 dropped = beams.pop()
                 sources.discard(dropped.source())
-            beams.append(extended)
+            insort(beams, extended, key=self._beam_key)
             sources.add(source)
+            self._derive_child_state(candidate, transformation, extended)
             self.stats.max_beam_width = max(self.stats.max_beam_width, len(beams))
         self.stats.get_top_k_s += time.perf_counter() - start
         return beams
@@ -458,6 +627,9 @@ class BeamSearch:
         stats.exec_cache_hit_rate = self._exec_cache.hit_rate
         stats.statement_cache_size = len(self._statement_cache)
         stats.statement_cache_hit_rate = self._statement_cache.hit_rate
+        if self._delta_score_s > 0:
+            # verify_scoring timed both paths on identical proposals
+            stats.get_steps_speedup = self._full_score_s / self._delta_score_s
         stats.n_exec_timeouts = self._direct_timeouts
         if self._executor is None:
             return

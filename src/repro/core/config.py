@@ -57,6 +57,20 @@ class LSConfig:
         Route CheckIfExecutes/VerifyConstraints through the
         prefix-resumable :class:`repro.sandbox.IncrementalExecutor`
         instead of cold re-execution from line 1.
+    incremental_scoring:
+        Score GetSteps proposals with the O(Δ) delta engine — the
+        candidate's cached edge state plus sufficient-statistics KL
+        updates (:meth:`repro.core.entropy.RelativeEntropyScorer
+        .score_delta`) — instead of recounting the whole script's edges
+        per proposal.  Bit-identical to the full recount by
+        construction; on (the default) it only changes speed.
+    verify_scoring:
+        Debug mode: run the full recount alongside every delta score and
+        raise :class:`repro.core.beam.ScoringMismatchError` on any
+        divergence (exact comparison).  Also times both paths, surfacing
+        the measured ratio as ``SearchStats.get_steps_speedup``.  Off by
+        default — it exists to audit the delta engine, not for
+        production.
     snapshot_budget:
         LRU capacity of the incremental executor's namespace-snapshot
         store; 0 disables prefix resumption even when
@@ -90,6 +104,8 @@ class LSConfig:
     random_state: int = 0
     parallel_workers: int = 1
     incremental_exec: bool = True
+    incremental_scoring: bool = True
+    verify_scoring: bool = False
     snapshot_budget: int = 64
     exec_timeout_s: Optional[float] = None
     statement_timeout_s: Optional[float] = None

@@ -13,14 +13,34 @@ from __future__ import annotations
 
 import math
 from collections import Counter
-from typing import Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
-from ..lang.parser import ScriptDAG, Statement
+from ..lang.parser import EdgeDelta, ScriptDAG, Statement
 from ..lang.vocabulary import CorpusVocabulary
 
-__all__ = ["RelativeEntropyScorer", "relative_entropy", "percent_improvement"]
+__all__ = [
+    "REStats",
+    "RelativeEntropyScorer",
+    "relative_entropy",
+    "percent_improvement",
+]
 
 EdgeKey = Tuple[str, str]
+
+#: Shared ``c·log2(c)`` term table.  Both the full recount and the delta
+#: path read the same float for the same count, which (together with the
+#: order-independence of :func:`math.fsum`) makes the two paths
+#: bit-identical.
+_C_LOG2_C: Dict[int, float] = {}
+
+
+def _c_log2_c(count: int) -> float:
+    term = _C_LOG2_C.get(count)
+    if term is None:
+        term = count * math.log2(count)
+        _C_LOG2_C[count] = term
+    return term
 
 
 def relative_entropy(
@@ -61,20 +81,222 @@ def percent_improvement(re_before: float, re_after: float) -> float:
     return (re_before - re_after) / re_before * 100.0
 
 
+@dataclass(frozen=True)
+class REStats:
+    """Sufficient statistics of one script's RE score.
+
+    With ``S1 = Σ_x c_x·log2(c_x)`` and ``S2 = Σ_x c_x·log2(q̂_x)`` over
+    the script's edge counts ``c_x`` (``q̂_x`` the corpus probability, or
+    the ε floor for unseen edges), the score is
+
+        ``RE = (S1 − S2)/T − log2(T)``,   ``T = Σ_x c_x``.
+
+    Instead of running float accumulators (whose add-then-subtract drift
+    would break bit-identity with the full recount), the statistics are
+    kept as *exact integer histograms*:
+
+    * ``count_hist`` — edge count value → number of edges holding it
+      (S1 = Σ n_c · c·log2(c) over its few distinct entries);
+    * ``q_hist`` — precomputed ``log2(q̂_x)`` value → total count mass on
+      edges sharing it (S2 = Σ w_L · L).
+
+    Histogram updates are integer arithmetic (exact, order-independent),
+    and the float sums are taken fresh with :func:`math.fsum` (correctly
+    rounded, hence order-independent), so a delta-updated state scores
+    bit-identically to a from-scratch recount while each transformation
+    costs O(edges touched + distinct histogram values).
+    """
+
+    total: int
+    count_hist: Dict[int, int]
+    q_hist: Dict[float, int]
+
+
 class RelativeEntropyScorer:
-    """Scores scripts (or raw edge counters) against a fixed corpus."""
+    """Scores scripts (or raw edge counters) against a fixed corpus.
+
+    Besides whole-script scoring, the scorer maintains the sufficient
+    statistics above for the beam search's O(Δ) incremental path:
+    :meth:`stats_from_counts` bootstraps a state, :meth:`score_delta`
+    scores one insert/delete without rescoring the script, and
+    :meth:`apply_delta` derives the successor state.
+    """
 
     def __init__(self, vocabulary: CorpusVocabulary):
         self._vocabulary = vocabulary
         self._q_counts = vocabulary.edge_counts
         self._epsilon = vocabulary.epsilon
+        # precomputed per-edge log2(Q) table; unseen edges share one ε term
+        q_total = max(vocabulary.total_edges, 1)
+        self._log2_q: Dict[EdgeKey, float] = {
+            edge: math.log2(count / q_total)
+            for edge, count in self._q_counts.items()
+            if count
+        }
+        self._log2_epsilon = math.log2(self._epsilon)
 
     @property
     def vocabulary(self) -> CorpusVocabulary:
         return self._vocabulary
 
+    def log2_q(self, edge: EdgeKey) -> float:
+        """``log2(q̂)`` for one edge (the ε floor when the corpus lacks it)."""
+        return self._log2_q.get(edge, self._log2_epsilon)
+
+    # ------------------------------------------------- sufficient statistics
+    def stats_from_counts(self, p_counts: Mapping[EdgeKey, int]) -> REStats:
+        """Bootstrap the sufficient statistics from an edge multiset."""
+        total = 0
+        count_hist: Dict[int, int] = {}
+        q_hist: Dict[float, int] = {}
+        log2_q = self._log2_q
+        log2_eps = self._log2_epsilon
+        for edge, count in p_counts.items():
+            if count <= 0:
+                continue
+            total += count
+            count_hist[count] = count_hist.get(count, 0) + 1
+            level = log2_q.get(edge, log2_eps)
+            q_hist[level] = q_hist.get(level, 0) + count
+        return REStats(total, count_hist, q_hist)
+
+    def score_stats(self, stats: REStats) -> float:
+        """``RE = (S1 − S2)/T − log2(T)`` off the histograms."""
+        if stats.total <= 0:
+            raise ValueError("script has no data-flow edges; RE is undefined")
+        s1 = math.fsum(n * _c_log2_c(c) for c, n in stats.count_hist.items())
+        s2 = math.fsum(w * level for level, w in stats.q_hist.items())
+        return (s1 - s2) / stats.total - math.log2(stats.total)
+
+    def _shifted_stats(
+        self,
+        stats: REStats,
+        base_counts: Mapping[EdgeKey, int],
+        changes: Mapping[EdgeKey, int],
+    ) -> REStats:
+        total = stats.total
+        count_hist = dict(stats.count_hist)
+        q_hist = dict(stats.q_hist)
+        log2_q = self._log2_q
+        log2_eps = self._log2_epsilon
+        for edge, change in changes.items():
+            if not change:
+                continue
+            old = base_counts.get(edge, 0)
+            new = old + change
+            if new < 0:
+                raise ValueError(f"delta drives edge {edge!r} below zero")
+            total += change
+            if old:
+                remaining = count_hist[old] - 1
+                if remaining:
+                    count_hist[old] = remaining
+                else:
+                    del count_hist[old]
+            if new:
+                count_hist[new] = count_hist.get(new, 0) + 1
+            level = log2_q.get(edge, log2_eps)
+            weight = q_hist.get(level, 0) + change
+            if weight:
+                q_hist[level] = weight
+            else:
+                q_hist.pop(level, None)
+        return REStats(total, count_hist, q_hist)
+
+    def score_delta(
+        self,
+        base_stats: REStats,
+        base_counts: Mapping[EdgeKey, int],
+        delta: EdgeDelta,
+    ) -> float:
+        """Score of the script *after* applying *delta* — O(Δ).
+
+        ``base_counts`` is the pre-delta edge multiset (the paired
+        :class:`~repro.lang.parser.EdgeState`'s ``counts``), needed to
+        move each touched edge between count-histogram buckets.
+
+        Equivalent to ``score_stats(apply_delta(...))`` bit for bit, but
+        materializes only small *patch* overlays on the base histograms
+        instead of copying them: the :func:`math.fsum` term multiset is
+        identical (base buckets not in the patch, plus non-zero patched
+        buckets), and fsum is order-independent, so the score matches the
+        from-scratch recount exactly.
+        """
+        count_hist = base_stats.count_hist
+        q_hist = base_stats.q_hist
+        total = base_stats.total
+        cpatch: Dict[int, int] = {}
+        qpatch: Dict[float, int] = {}
+        log2_q = self._log2_q
+        log2_eps = self._log2_epsilon
+        for edge, change in delta.changes.items():
+            if not change:
+                continue
+            old = base_counts.get(edge, 0)
+            new = old + change
+            if new < 0:
+                raise ValueError(f"delta drives edge {edge!r} below zero")
+            total += change
+            if old:
+                cur = cpatch.get(old)
+                if cur is None:
+                    cur = count_hist.get(old, 0)
+                cpatch[old] = cur - 1
+            if new:
+                cur = cpatch.get(new)
+                if cur is None:
+                    cur = count_hist.get(new, 0)
+                cpatch[new] = cur + 1
+            level = log2_q.get(edge, log2_eps)
+            cur = qpatch.get(level)
+            if cur is None:
+                cur = q_hist.get(level, 0)
+            qpatch[level] = cur + change
+        if total <= 0:
+            raise ValueError("script has no data-flow edges; RE is undefined")
+        s1_base, s2_base = self._base_terms(base_stats)
+        terms = [t for c, t in s1_base if c not in cpatch]
+        terms.extend(n * _c_log2_c(c) for c, n in cpatch.items() if n)
+        s1 = math.fsum(terms)
+        terms = [t for level, t in s2_base if level not in qpatch]
+        terms.extend(w * level for level, w in qpatch.items() if w)
+        s2 = math.fsum(terms)
+        return (s1 - s2) / total - math.log2(total)
+
+    @staticmethod
+    def _base_terms(
+        stats: REStats,
+    ) -> Tuple[List[Tuple[int, float]], List[Tuple[float, float]]]:
+        """Memoized (bucket, fsum-term) pairs of the base histograms.
+
+        One GetSteps wave scores every proposal against the same base
+        stats, so the untouched-bucket terms are computed once.  Safe
+        because :class:`REStats` is treated as immutable everywhere
+        (:meth:`apply_delta` builds fresh dicts).
+        """
+        cached = stats.__dict__.get("_terms")
+        if cached is None:
+            cached = (
+                [(c, n * _c_log2_c(c)) for c, n in stats.count_hist.items()],
+                [(level, w * level) for level, w in stats.q_hist.items()],
+            )
+            object.__setattr__(stats, "_terms", cached)
+        return cached
+
+    def apply_delta(
+        self,
+        base_stats: REStats,
+        base_counts: Mapping[EdgeKey, int],
+        delta: EdgeDelta,
+    ) -> REStats:
+        """Successor sufficient statistics after *delta* (exact)."""
+        return self._shifted_stats(base_stats, base_counts, delta.changes)
+
+    # ----------------------------------------------------------- whole-script
     def score_edge_counts(self, p_counts: Counter) -> float:
-        return relative_entropy(p_counts, self._q_counts, self._epsilon)
+        if not self._q_counts:
+            raise ValueError("corpus has no data-flow edges; RE is undefined")
+        return self.score_stats(self.stats_from_counts(p_counts))
 
     def score_dag(self, dag: ScriptDAG) -> float:
         return self.score_edge_counts(dag.edge_counter())

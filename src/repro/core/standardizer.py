@@ -9,8 +9,9 @@ user-intent constraints, and return the most standard surviving script.
 from __future__ import annotations
 
 import time
-from collections import Counter
+from collections import Counter, OrderedDict
 from dataclasses import dataclass, field
+from hashlib import sha1
 from typing import List, Optional, Sequence, Tuple
 
 from ..lang import CorpusVocabulary, ScriptError, lemmatize, parse_script
@@ -30,6 +31,60 @@ from .transformations import Transformation
 __all__ = ["LucidScript", "StandardizationResult", "StandardizationError"]
 
 
+#: Worker-resident original-output table, keyed by fingerprint.  The
+#: original script's output is identical for every task of a run, so it is
+#: never pickled into tasks; each worker materializes it at most once per
+#: fingerprint (LRU-bounded — pool workers outlive searches).
+_WORKER_OUTPUT_CACHE: "OrderedDict[str, DataFrame]" = OrderedDict()
+_WORKER_OUTPUT_CACHE_LIMIT = 4
+
+
+def _original_output_fingerprint(
+    original_source: str, data_dir: Optional[str], sample_rows: Optional[int]
+) -> str:
+    """Cache key for one run's original output: everything that determines
+    what :func:`repro.sandbox.run_script` would produce for it."""
+    digest = sha1()
+    digest.update(original_source.encode())
+    digest.update(b"\x00")
+    digest.update(str(data_dir).encode())
+    digest.update(b"\x00")
+    digest.update(str(sample_rows).encode())
+    return digest.hexdigest()
+
+
+def _worker_original_output(
+    ref: Tuple[str, str],
+    data_dir: Optional[str],
+    sample_rows: Optional[int],
+    timeout_s: Optional[float],
+) -> Optional[DataFrame]:
+    """The original output inside a pool worker — cached, else recomputed.
+
+    ``ref`` is ``(fingerprint, original_source)``.  The sandbox is
+    deterministic for fixed ``(source, data_dir, sample_rows)``, so a
+    recompute yields the same table the parent holds; tasks therefore ship
+    two strings instead of a pickled DataFrame per candidate.
+    """
+    fingerprint, original_source = ref
+    cached = _WORKER_OUTPUT_CACHE.get(fingerprint)
+    if cached is not None:
+        _WORKER_OUTPUT_CACHE.move_to_end(fingerprint)
+        return cached
+    result = run_script(
+        original_source,
+        data_dir=data_dir,
+        sample_rows=sample_rows,
+        timeout_s=timeout_s,
+    )
+    if not result.ok or result.output is None:
+        return None
+    _WORKER_OUTPUT_CACHE[fingerprint] = result.output
+    while len(_WORKER_OUTPUT_CACHE) > _WORKER_OUTPUT_CACHE_LIMIT:
+        _WORKER_OUTPUT_CACHE.popitem(last=False)
+    return result.output
+
+
 def _verify_candidate_task(args) -> bool:
     """Top-level (picklable) constraint check for one candidate script.
 
@@ -39,9 +94,11 @@ def _verify_candidate_task(args) -> bool:
     incremental executor typically has its full prefix snapshotted.  The
     worker self-interrupts at *timeout_s* via the in-process watchdog, so
     a pathological candidate fails its own verdict without hanging the
-    pool.
+    pool.  ``original_ref`` is ``None`` (no intent check) or the
+    ``(fingerprint, original_source)`` pair resolved worker-side by
+    :func:`_worker_original_output`.
     """
-    source, data_dir, sample_rows, intent, original_output, timeout_s = args
+    source, data_dir, sample_rows, intent, original_ref, timeout_s = args
     result = run_script(
         source, data_dir=data_dir, sample_rows=sample_rows, timeout_s=timeout_s
     )
@@ -49,6 +106,11 @@ def _verify_candidate_task(args) -> bool:
         return False
     if intent is None:
         return True
+    original_output = _worker_original_output(
+        original_ref, data_dir, sample_rows, timeout_s
+    )
+    if original_output is None:
+        return False
     _, ok = intent.check(original_output, result.output)
     return ok
 
@@ -253,7 +315,7 @@ class LucidScript:
         try:
             if self.config.parallel_workers > 1 and len(candidates) > 2:
                 speculative = self._verify_parallel(
-                    candidates, original_source, original_output, search
+                    candidates, original_source, search
                 )
                 if speculative is not None:
                     return speculative
@@ -279,14 +341,17 @@ class LucidScript:
         self,
         candidates: List[Candidate],
         original_source: str,
-        original_output: DataFrame,
         search: BeamSearch,
     ) -> Optional[Candidate]:
         """Wave-parallel VerifyAllConstraints; None means "fall back serial".
 
         Each wave batches the next ``2 × workers`` candidates (stopping at
         the original script, which is trivially valid) onto the pool and
-        takes the first valid verdict in score order.  With an execution
+        takes the first valid verdict in score order.  Tasks never carry
+        the original output table: each ships a ``(fingerprint,
+        original_source)`` reference that workers resolve against a
+        worker-resident cache (recomputing at most once per worker), so
+        per-candidate pickling cost is independent of the data size.  With an execution
         budget set, a worker that does not answer in time is declared
         hung: its candidate fails verification, the pool is hard-killed
         and respawned, and the wave continues — until the respawn budget
@@ -296,6 +361,16 @@ class LucidScript:
         workers = self.config.parallel_workers
         wave_size = max(2, workers * 2)
         timeout_s = self.config.exec_timeout_s
+        original_ref = (
+            None
+            if self.intent is None
+            else (
+                _original_output_fingerprint(
+                    original_source, self.data_dir, self.config.sample_rows
+                ),
+                original_source,
+            )
+        )
         parent_budget = timeout_s * 2 + 1.0 if timeout_s is not None else None
         respawns = 0
         position = 0
@@ -314,7 +389,7 @@ class LucidScript:
                         self.data_dir,
                         self.config.sample_rows,
                         self.intent,
-                        original_output,
+                        original_ref,
                         timeout_s,
                     )
                     for c in wave

@@ -8,6 +8,8 @@ from .atoms import NGRAM, ONEGRAM, Atom, Edge
 from .errors import ScriptError, ScriptParseError, UnsupportedScriptError
 from .lemmatize import lemmatize, read_csv_files, split_statements
 from .parser import (
+    EdgeDelta,
+    EdgeState,
     ScriptDAG,
     Statement,
     compute_edge_counts,
@@ -30,6 +32,8 @@ __all__ = [
     "CorpusStats",
     "CorpusVocabulary",
     "Edge",
+    "EdgeDelta",
+    "EdgeState",
     "ScriptDAG",
     "ScriptError",
     "ScriptParseError",

@@ -149,3 +149,80 @@ class TestStandardizationResult:
         result = system.standardize(alex_script)
         assert "VerifyConstraints" in result.stats.breakdown()
         assert result.stats.verify_constraints_s > 0
+
+
+class TestWorkerOutputCache:
+    """Parallel verification ships the original output by fingerprint, not
+    as a pickled DataFrame per task; workers resolve (and cache) it."""
+
+    def _ref(self, source, data_dir, sample_rows):
+        from repro.core.standardizer import _original_output_fingerprint
+
+        return (_original_output_fingerprint(source, data_dir, sample_rows), source)
+
+    def test_fingerprint_distinguishes_inputs(self):
+        from repro.core.standardizer import _original_output_fingerprint
+
+        base = _original_output_fingerprint("x = 1", "/data", 100)
+        assert _original_output_fingerprint("x = 2", "/data", 100) != base
+        assert _original_output_fingerprint("x = 1", "/other", 100) != base
+        assert _original_output_fingerprint("x = 1", "/data", None) != base
+
+    def test_worker_resolves_and_caches_original_output(
+        self, diabetes_corpus, diabetes_dir
+    ):
+        from repro.core import standardizer as mod
+
+        source = lemmatize(diabetes_corpus[0])
+        ref = self._ref(source, diabetes_dir, 100)
+        mod._WORKER_OUTPUT_CACHE.clear()
+        first = mod._worker_original_output(ref, diabetes_dir, 100, None)
+        assert first is not None
+        assert ref[0] in mod._WORKER_OUTPUT_CACHE
+        assert mod._worker_original_output(ref, diabetes_dir, 100, None) is first
+
+    def test_cache_is_bounded(self, diabetes_corpus, diabetes_dir):
+        from repro.core import standardizer as mod
+
+        mod._WORKER_OUTPUT_CACHE.clear()
+        source = lemmatize(diabetes_corpus[0])
+        for rows in (10, 20, 30, 40, 50, 60):
+            mod._worker_original_output(
+                self._ref(source, diabetes_dir, rows), diabetes_dir, rows, None
+            )
+        assert len(mod._WORKER_OUTPUT_CACHE) <= mod._WORKER_OUTPUT_CACHE_LIMIT
+
+    def test_task_verdict_matches_inline_check(self, diabetes_corpus, diabetes_dir):
+        from repro.core.standardizer import _verify_candidate_task
+        from repro.sandbox import run_script
+
+        original = lemmatize(diabetes_corpus[0])
+        candidate = lemmatize(diabetes_corpus[2])
+        intent = TableJaccardIntent(tau=0.5)
+        verdict = _verify_candidate_task(
+            (
+                candidate,
+                diabetes_dir,
+                100,
+                intent,
+                self._ref(original, diabetes_dir, 100),
+                None,
+            )
+        )
+        original_output = run_script(
+            original, data_dir=diabetes_dir, sample_rows=100
+        ).output
+        candidate_output = run_script(
+            candidate, data_dir=diabetes_dir, sample_rows=100
+        ).output
+        _, expected = intent.check(original_output, candidate_output)
+        assert verdict == expected
+
+    def test_unrunnable_original_fails_closed(self, diabetes_dir):
+        from repro.core import standardizer as mod
+
+        mod._WORKER_OUTPUT_CACHE.clear()
+        bad = "import pandas as pd\ndf = pd.read_csv('missing.csv')"
+        ref = self._ref(bad, diabetes_dir, 100)
+        assert mod._worker_original_output(ref, diabetes_dir, 100, None) is None
+        assert ref[0] not in mod._WORKER_OUTPUT_CACHE
