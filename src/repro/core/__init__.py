@@ -18,9 +18,13 @@ from .explain import TransformationExplanation, explain_result
 from .grouping import OperationGroups, group_operations
 from .intent import (
     IntentMeasure,
+    IntentMismatchError,
+    IntentStats,
     ModelPerformanceIntent,
+    PreparedIntent,
     TableJaccardIntent,
     model_performance_delta,
+    table_fingerprint,
     table_jaccard,
 )
 from .intent_ext import (
@@ -43,11 +47,14 @@ __all__ = [
     "Candidate",
     "FairnessIntent",
     "IntentMeasure",
+    "IntentMismatchError",
+    "IntentStats",
     "LSConfig",
     "LeakageDetection",
     "LucidScript",
     "ModelPerformanceIntent",
     "OperationGroups",
+    "PreparedIntent",
     "REStats",
     "RelativeEntropyScorer",
     "ScoringMismatchError",
@@ -72,6 +79,7 @@ __all__ = [
     "percent_improvement",
     "recommend_parameters",
     "relative_entropy",
+    "table_fingerprint",
     "table_jaccard",
     "transformation_features",
 ]

@@ -107,6 +107,11 @@ class SearchStats:
     n_full_recounts: int = 0
     get_steps_speedup: float = 0.0
     n_exec_checks: int = 0
+    n_intent_checks: int = 0
+    n_intent_cache_hits: int = 0
+    n_column_set_reuse: int = 0
+    n_intent_short_circuits: int = 0
+    intent_speedup: float = 0.0
     n_iterations: int = 0
     n_exec_batches: int = 0
     n_batched_checks: int = 0
@@ -145,6 +150,11 @@ class SearchStats:
             "GetTopKBeams": self.get_top_k_s,
             "CheckIfExecutes": self.check_executes_s,
             "VerifyConstraints": self.verify_constraints_s,
+            "IntentChecks": float(self.n_intent_checks),
+            "IntentCacheHits": float(self.n_intent_cache_hits),
+            "ColumnSetReuse": float(self.n_column_set_reuse),
+            "IntentShortCircuits": float(self.n_intent_short_circuits),
+            "IntentSpeedup": self.intent_speedup,
             "CheckIfExecutesCPU": self.check_executes_cpu_s,
             "ExecBatches": float(self.n_exec_batches),
             "BatchedChecks": float(self.n_batched_checks),

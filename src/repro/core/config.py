@@ -71,6 +71,24 @@ class LSConfig:
         the measured ratio as ``SearchStats.get_steps_speedup``.  Off by
         default — it exists to audit the delta engine, not for
         production.
+    incremental_intent:
+        Verify the user-intent constraint through the content-addressed
+        :class:`repro.core.intent.PreparedIntent` engine — the original
+        output's per-mode state is frozen once per search (and cached
+        worker-side by fingerprint on the pool path), and each candidate
+        check pays O(changed columns) via per-column content
+        fingerprints, an exact disjoint-column Jaccard decomposition for
+        ``mode='cells'``, and a whole-table short-circuit.  Bit-identical
+        to the naive pairwise measures by construction; on (the default)
+        it only changes speed.
+    verify_intent:
+        Debug mode: recompute every prepared intent delta through the
+        naive cache-free path alongside and raise
+        :class:`repro.core.intent.IntentMismatchError` on any float
+        divergence (exact comparison).  Also times both paths, surfacing
+        the measured ratio as ``SearchStats.intent_speedup``.  Off by
+        default — it exists to audit the intent engine, not for
+        production.
     snapshot_budget:
         LRU capacity of the incremental executor's namespace-snapshot
         store; 0 disables prefix resumption even when
@@ -106,6 +124,8 @@ class LSConfig:
     incremental_exec: bool = True
     incremental_scoring: bool = True
     verify_scoring: bool = False
+    incremental_intent: bool = True
+    verify_intent: bool = False
     snapshot_budget: int = 64
     exec_timeout_s: Optional[float] = None
     statement_timeout_s: Optional[float] = None

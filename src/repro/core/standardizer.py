@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from hashlib import sha1
 from typing import List, Optional, Sequence, Tuple
 
+from .._lru import LRUCache
 from ..lang import CorpusVocabulary, ScriptError, lemmatize, parse_script
 from ..minipandas import DataFrame
 from ..sandbox import IncrementalExecutor, run_script
@@ -25,7 +26,7 @@ from ..sandbox.runner import (
 from .beam import BeamSearch, Candidate, SearchStats
 from .config import LSConfig
 from .entropy import RelativeEntropyScorer, percent_improvement
-from .intent import IntentMeasure
+from .intent import IntentMeasure, IntentStats, PreparedIntent, table_fingerprint
 from .transformations import Transformation
 
 __all__ = ["LucidScript", "StandardizationResult", "StandardizationError"]
@@ -37,6 +38,15 @@ __all__ = ["LucidScript", "StandardizationResult", "StandardizationError"]
 #: fingerprint (LRU-bounded — pool workers outlive searches).
 _WORKER_OUTPUT_CACHE: "OrderedDict[str, DataFrame]" = OrderedDict()
 _WORKER_OUTPUT_CACHE_LIMIT = 4
+
+#: Worker-resident prepared intent state, keyed by (run fingerprint,
+#: intent identity).  The prepared original side — per-mode cell sets,
+#: column fingerprints, the original's downstream accuracy — is identical
+#: for every task of a run, so each pool worker freezes it at most once
+#: per key instead of rebuilding it per task (LRU-bounded, like the
+#: output cache above).
+_WORKER_INTENT_CACHE: "OrderedDict[Tuple[str, Tuple], PreparedIntent]" = OrderedDict()
+_WORKER_INTENT_CACHE_LIMIT = 4
 
 
 def _original_output_fingerprint(
@@ -85,6 +95,33 @@ def _worker_original_output(
     return result.output
 
 
+def _worker_prepared_intent(
+    fingerprint: str,
+    intent: IntentMeasure,
+    original_output: DataFrame,
+    verify: bool,
+) -> PreparedIntent:
+    """This worker's prepared intent state — cached, else frozen once.
+
+    Prepared state is addressed by ``(run fingerprint, intent.cache_key())``
+    so a changed intent configuration (or a different original) never
+    reuses stale state.  Counters on worker-side prepared objects stay in
+    the worker — only verdicts cross back to the parent.
+    """
+    key = (fingerprint, intent.cache_key())
+    prepared = _WORKER_INTENT_CACHE.get(key)
+    if prepared is not None:
+        _WORKER_INTENT_CACHE.move_to_end(key)
+        prepared.counters.prepared_hits += 1
+        prepared.verify = verify
+        return prepared
+    prepared = intent.prepare(original_output, verify=verify)
+    _WORKER_INTENT_CACHE[key] = prepared
+    while len(_WORKER_INTENT_CACHE) > _WORKER_INTENT_CACHE_LIMIT:
+        _WORKER_INTENT_CACHE.popitem(last=False)
+    return prepared
+
+
 def _verify_candidate_task(args) -> bool:
     """Top-level (picklable) constraint check for one candidate script.
 
@@ -96,9 +133,21 @@ def _verify_candidate_task(args) -> bool:
     a pathological candidate fails its own verdict without hanging the
     pool.  ``original_ref`` is ``None`` (no intent check) or the
     ``(fingerprint, original_source)`` pair resolved worker-side by
-    :func:`_worker_original_output`.
+    :func:`_worker_original_output`; with *incremental_intent* the
+    resolved table is further frozen into a cached
+    :class:`~repro.core.intent.PreparedIntent` so successive tasks skip
+    re-deriving the original side.
     """
-    source, data_dir, sample_rows, intent, original_ref, timeout_s = args
+    (
+        source,
+        data_dir,
+        sample_rows,
+        intent,
+        original_ref,
+        timeout_s,
+        incremental_intent,
+        verify_intent,
+    ) = args
     result = run_script(
         source, data_dir=data_dir, sample_rows=sample_rows, timeout_s=timeout_s
     )
@@ -111,7 +160,13 @@ def _verify_candidate_task(args) -> bool:
     )
     if original_output is None:
         return False
-    _, ok = intent.check(original_output, result.output)
+    if incremental_intent:
+        prepared = _worker_prepared_intent(
+            original_ref[0], intent, original_output, verify_intent
+        )
+        _, ok = prepared.check(result.output)
+    else:
+        _, ok = intent.check(original_output, result.output)
     return ok
 
 
@@ -204,6 +259,41 @@ class LucidScript:
         self.intent = intent
         self.config = config or LSConfig()
         self._executor: Optional[IncrementalExecutor] = None
+        #: prepared intent state across standardize() calls, keyed by
+        #: (original table fingerprint, intent identity)
+        self._intent_cache: LRUCache = LRUCache(self.INTENT_CACHE_LIMIT)
+
+    #: Distinct (original, intent) pairs whose prepared state is retained.
+    INTENT_CACHE_LIMIT = 4
+
+    def _prepared_intent(
+        self, original_output: DataFrame, counters: IntentStats
+    ) -> Optional[PreparedIntent]:
+        """The content-addressed verification state for this original.
+
+        None when the intent constraint is disabled or
+        ``LSConfig.incremental_intent`` is off (callers then take the
+        naive pairwise path).  Reuses (and re-points the counters of) a
+        cached prepared state when the original's content fingerprint and
+        the intent's configuration both match.
+        """
+        if self.intent is None or not self.config.incremental_intent:
+            return None
+        key = (table_fingerprint(original_output), self.intent.cache_key())
+        prepared = self._intent_cache.peek(key)
+        if prepared is None:
+            prepared = self.intent.prepare(
+                original_output,
+                table_fp=key[0],
+                counters=counters,
+                verify=self.config.verify_intent,
+            )
+            self._intent_cache[key] = prepared
+        else:
+            counters.prepared_hits += 1
+            prepared.counters = counters
+            prepared.verify = self.config.verify_intent
+        return prepared
 
     def _shared_executor(self) -> Optional[IncrementalExecutor]:
         """One incremental executor per (data_dir, sample_rows) setting.
@@ -259,11 +349,15 @@ class LucidScript:
             executor=self._shared_executor(),
         )
         candidates = search.search(dag.statements)
+        intent_counters = IntentStats()
         best = self._verify_all_constraints(
-            candidates, normalized, original_output, search
+            candidates, normalized, original_output, search, intent_counters
         )
-        intent_delta, intent_ok = self._final_intent(best, normalized, original_output)
+        intent_delta, intent_ok = self._final_intent(
+            best, normalized, original_output, intent_counters
+        )
         search.sync_cache_stats()  # fold verification-phase cache activity in
+        self._fold_intent_stats(search.stats, intent_counters)
         return StandardizationResult(
             input_script=normalized,
             output_script=best.source(),
@@ -289,12 +383,29 @@ class LucidScript:
             )
         return result.output if result.ok else None
 
+    @staticmethod
+    def _fold_intent_stats(stats: SearchStats, counters: IntentStats) -> None:
+        """Surface the parent-side intent-engine counters on SearchStats.
+
+        Worker-side counters stay in the pool workers (only verdicts cross
+        the process boundary), so the parallel path contributes parent
+        checks only.
+        """
+        stats.n_intent_checks += counters.checks
+        stats.n_intent_cache_hits += counters.prepared_hits
+        stats.n_column_set_reuse += counters.column_set_reuse
+        stats.n_intent_short_circuits += counters.short_circuits
+        if counters.prepared_s > 0 and counters.naive_s > 0:
+            # verify_intent timed both paths on identical checks
+            stats.intent_speedup = counters.naive_s / counters.prepared_s
+
     def _verify_all_constraints(
         self,
         candidates: List[Candidate],
         original_source: str,
         original_output: DataFrame,
         search: BeamSearch,
+        intent_counters: IntentStats,
     ) -> Candidate:
         """VerifyAllConstraints(): return the most standard valid candidate.
 
@@ -312,6 +423,7 @@ class LucidScript:
         """
         stats = search.stats
         start = time.perf_counter()
+        prepared = self._prepared_intent(original_output, intent_counters)
         try:
             if self.config.parallel_workers > 1 and len(candidates) > 2:
                 speculative = self._verify_parallel(
@@ -327,7 +439,10 @@ class LucidScript:
                 if output is None:
                     continue
                 if self.intent is not None:
-                    _, ok = self.intent.check(original_output, output)
+                    if prepared is not None:
+                        _, ok = prepared.check(output)
+                    else:
+                        _, ok = self.intent.check(original_output, output)
                     if not ok:
                         continue
                 return candidate
@@ -391,6 +506,8 @@ class LucidScript:
                         self.intent,
                         original_ref,
                         timeout_s,
+                        self.config.incremental_intent,
+                        self.config.verify_intent,
                     )
                     for c in wave
                 ]
@@ -443,6 +560,7 @@ class LucidScript:
         best: Candidate,
         original_source: str,
         original_output: DataFrame,
+        intent_counters: IntentStats,
     ) -> Tuple[Optional[float], bool]:
         if self.intent is None:
             return None, True
@@ -453,4 +571,7 @@ class LucidScript:
         output = self._run(best.source())
         if output is None:  # pragma: no cover - verified above
             return None, False
+        prepared = self._prepared_intent(original_output, intent_counters)
+        if prepared is not None:
+            return prepared.check(output)
         return self.intent.check(original_output, output)

@@ -72,10 +72,11 @@ class Series:
         name: Optional[str] = None,
         dtype: Optional[str] = None,
     ):
+        shared_index: Optional[Index] = None
         if isinstance(data, Series):
             values = list(data._values)
             if index is None:
-                index = data.index.tolist()
+                shared_index = data._index
             if name is None:
                 name = data.name
         elif isinstance(data, dict):
@@ -87,7 +88,10 @@ class Series:
         else:
             values = [_coerce_scalar(v) for v in data]
         self._values: List[Any] = values
-        self._index: Index = Index(index) if index is not None else RangeIndex(len(values))
+        if shared_index is not None:
+            self._index: Index = shared_index
+        else:
+            self._index = Index(index) if index is not None else RangeIndex(len(values))
         if len(self._index) != len(self._values):
             raise ValueError(
                 f"index length {len(self._index)} does not match data length {len(self._values)}"
@@ -163,6 +167,21 @@ class Series:
         clone.name = self.name
         return clone
 
+    def _with_values(self, values: List[Any], coerce: bool = False) -> "Series":
+        """Derive a Series with new *values* but this Series' labels.
+
+        ``Index`` is immutable, so the derived Series shares ``self._index``
+        directly instead of paying ``tolist()`` + ``Index(...)`` (a full
+        label-list copy and position-map rebuild) on every elementwise op.
+        ``coerce`` applies the constructor's numpy-scalar normalization and
+        is only needed when *values* may contain caller-supplied objects.
+        """
+        out = Series.__new__(Series)
+        out._values = [_coerce_scalar(v) for v in values] if coerce else values
+        out._index = self._index
+        out.name = self.name
+        return out
+
     def tolist(self) -> List[Any]:
         return list(self._values)
 
@@ -179,8 +198,7 @@ class Series:
         if isinstance(key, Series) and key.dtype == "bool":
             return self._filter_mask(key)
         if isinstance(key, (list, np.ndarray)) and len(key) and isinstance(key[0], (bool, np.bool_)):
-            mask = Series(list(key), index=self._index.tolist())
-            return self._filter_mask(mask)
+            return self._filter_mask(self._with_values([bool(f) for f in key]))
         if isinstance(key, slice):
             return Series(
                 self._values[key], index=self._index.tolist()[key], name=self.name
@@ -254,14 +272,14 @@ class Series:
                     values.append(NA)
                 else:
                     values.append(op(value, rhs))
-            return Series(values, index=self._index.tolist(), name=self.name)
+            return self._with_values(values, coerce=True)
         values = []
         for value in self._values:
             if propagate_na and is_missing(value):
                 values.append(NA)
             else:
                 values.append(op(value, other))
-        return Series(values, index=self._index.tolist(), name=self.name)
+        return self._with_values(values, coerce=True)
 
     def _compare(self, other: Any, op: Callable[[Any, Any], bool]) -> "Series":
         def safe(lhs, rhs):
@@ -280,7 +298,7 @@ class Series:
             ]
         else:
             values = [safe(value, other) for value in self._values]
-        return Series(values, index=self._index.tolist(), name=self.name)
+        return self._with_values(values)
 
     def __add__(self, other):
         return self._binary_op(other, lambda a, b: a + b)
@@ -348,10 +366,8 @@ class Series:
         return self._binary_op(other, lambda a, b: bool(a) != bool(b), propagate_na=False)
 
     def __invert__(self):
-        return Series(
-            [not bool(v) if not is_missing(v) else True for v in self._values],
-            index=self._index.tolist(),
-            name=self.name,
+        return self._with_values(
+            [not bool(v) if not is_missing(v) else True for v in self._values]
         )
 
     def __bool__(self):
@@ -361,9 +377,7 @@ class Series:
 
     # ----------------------------------------------------------- missing data
     def isnull(self) -> "Series":
-        return Series(
-            [is_missing(v) for v in self._values], index=self._index.tolist(), name=self.name
-        )
+        return self._with_values([is_missing(v) for v in self._values])
 
     isna = isnull
 
@@ -381,7 +395,7 @@ class Series:
             ]
         else:
             values = [value if is_missing(v) else v for v in self._values]
-        return Series(values, index=self._index.tolist(), name=self.name)
+        return self._with_values(values, coerce=True)
 
     def dropna(self) -> "Series":
         pairs = [
@@ -404,14 +418,14 @@ class Series:
         else:
             raise ValueError(f"invalid inclusive value: {inclusive!r}")
         values = [False if is_missing(v) else bool(op(v)) for v in self._values]
-        return Series(values, index=self._index.tolist(), name=self.name)
+        return self._with_values(values)
 
     def isin(self, collection: Iterable[Any]) -> "Series":
         lookup = set(collection)
         values = [
             False if is_missing(v) else v in lookup for v in self._values
         ]
-        return Series(values, index=self._index.tolist(), name=self.name)
+        return self._with_values(values)
 
     def any(self) -> bool:
         return any(bool(v) for v in self._values if not is_missing(v))
@@ -426,14 +440,12 @@ class Series:
             key = ("__na__",) if is_missing(v) else v
             flags.append(key in seen)
             seen.add(key)
-        return Series(flags, index=self._index.tolist(), name=self.name)
+        return self._with_values(flags)
 
     # ------------------------------------------------------------ conversions
     def astype(self, dtype) -> "Series":
         name = _dtype_name(dtype)
-        return Series(
-            _cast_values(self._values, name), index=self._index.tolist(), name=self.name
-        )
+        return self._with_values(_cast_values(self._values, name))
 
     def map(self, mapper) -> "Series":
         if isinstance(mapper, dict):
@@ -442,12 +454,10 @@ class Series:
             ]
         else:
             values = [NA if is_missing(v) else mapper(v) for v in self._values]
-        return Series(values, index=self._index.tolist(), name=self.name)
+        return self._with_values(values, coerce=True)
 
     def apply(self, func: Callable[[Any], Any]) -> "Series":
-        return Series(
-            [func(v) for v in self._values], index=self._index.tolist(), name=self.name
-        )
+        return self._with_values([func(v) for v in self._values], coerce=True)
 
     def replace(self, to_replace, value=None) -> "Series":
         if isinstance(to_replace, dict):
@@ -463,7 +473,7 @@ class Series:
                 value if (not is_missing(v) and v in targets) else v
                 for v in self._values
             ]
-        return Series(values, index=self._index.tolist(), name=self.name)
+        return self._with_values(values, coerce=True)
 
     def clip(self, lower=None, upper=None) -> "Series":
         def clip_one(v):
@@ -475,22 +485,16 @@ class Series:
                 return upper
             return v
 
-        return Series(
-            [clip_one(v) for v in self._values], index=self._index.tolist(), name=self.name
-        )
+        return self._with_values([clip_one(v) for v in self._values], coerce=True)
 
     def abs(self) -> "Series":
-        return Series(
-            [v if is_missing(v) else abs(v) for v in self._values],
-            index=self._index.tolist(),
-            name=self.name,
+        return self._with_values(
+            [v if is_missing(v) else abs(v) for v in self._values]
         )
 
     def round(self, decimals: int = 0) -> "Series":
-        return Series(
-            [v if is_missing(v) else round(v, decimals) for v in self._values],
-            index=self._index.tolist(),
-            name=self.name,
+        return self._with_values(
+            [v if is_missing(v) else round(v, decimals) for v in self._values]
         )
 
     # ------------------------------------------------------------- reductions
@@ -676,7 +680,7 @@ class Series:
         else:
             k = min(-periods, n)
             values = self._values[k:] + [NA] * k
-        return Series(values, index=self._index.tolist(), name=self.name)
+        return self._with_values(values)
 
     def diff(self, periods: int = 1) -> "Series":
         shifted = self.shift(periods)
@@ -694,7 +698,7 @@ class Series:
             else:
                 total += v
                 values.append(total)
-        return Series(values, index=self._index.tolist(), name=self.name)
+        return self._with_values(values)
 
     def cummax(self) -> "Series":
         values, best = [], None
@@ -704,7 +708,7 @@ class Series:
             else:
                 best = v if best is None else max(best, v)
                 values.append(best)
-        return Series(values, index=self._index.tolist(), name=self.name)
+        return self._with_values(values)
 
     def cummin(self) -> "Series":
         values, best = [], None
@@ -714,7 +718,7 @@ class Series:
             else:
                 best = v if best is None else min(best, v)
                 values.append(best)
-        return Series(values, index=self._index.tolist(), name=self.name)
+        return self._with_values(values)
 
     def rank(self, ascending: bool = True, method: str = "average") -> "Series":
         """Rank values (1-based); ties share the average rank by default."""
@@ -739,7 +743,7 @@ class Series:
             for offset, (_, pos) in enumerate(present[i : j + 1]):
                 ranks[pos] = (i + offset + 1) if method == "first" else value
             i = j + 1
-        return Series(ranks, index=self._index.tolist(), name=self.name)
+        return self._with_values(ranks)
 
     def ffill(self) -> "Series":
         values, last = [], NA
@@ -749,7 +753,7 @@ class Series:
             else:
                 last = v
                 values.append(v)
-        return Series(values, index=self._index.tolist(), name=self.name)
+        return self._with_values(values)
 
     def bfill(self) -> "Series":
         values: List[Any] = []
@@ -761,7 +765,7 @@ class Series:
                 upcoming = v
                 values.append(v)
         values.reverse()
-        return Series(values, index=self._index.tolist(), name=self.name)
+        return self._with_values(values)
 
     def interpolate(self) -> "Series":
         """Linear interpolation between the nearest present neighbours.
@@ -778,7 +782,7 @@ class Series:
             lo, hi = float(values[left]), float(values[right])
             for step in range(1, gap):
                 values[left + step] = lo + (hi - lo) * step / gap
-        return Series(values, index=self._index.tolist(), name=self.name)
+        return self._with_values(values)
 
     def where(self, condition: "Series", other: Any = NA) -> "Series":
         """Keep values where *condition* holds; replace the rest with *other*."""
@@ -790,7 +794,7 @@ class Series:
             )
             for label, v in zip(self._index, self._values)
         ]
-        return Series(values, index=self._index.tolist(), name=self.name)
+        return self._with_values(values, coerce=True)
 
     def mask(self, condition: "Series", other: Any = NA) -> "Series":
         """Replace values where *condition* holds (inverse of where)."""
@@ -803,7 +807,7 @@ class Series:
             other_by_label.get(label, v) if is_missing(v) else v
             for label, v in zip(self._index, self._values)
         ]
-        return Series(values, index=self._index.tolist(), name=self.name)
+        return self._with_values(values)
 
     def to_frame(self, name: Optional[str] = None):
         from .frame import DataFrame

@@ -207,6 +207,8 @@ class TestWorkerOutputCache:
                 intent,
                 self._ref(original, diabetes_dir, 100),
                 None,
+                True,
+                False,
             )
         )
         original_output = run_script(

@@ -491,3 +491,64 @@ class TestMisc:
 
     def test_skew_symmetric_is_near_zero(self):
         assert abs(Series([1.0, 2.0, 3.0, 4.0, 5.0]).skew()) < 1e-9
+
+
+class TestIndexSharing:
+    """Label-preserving ops must share the immutable Index, not rebuild it."""
+
+    def test_derived_ops_share_index_object(self):
+        s = Series([1.0, NA, 3.0, 4.0], index=["a", "b", "c", "d"], name="x")
+        derived = [
+            s + 1,
+            s * 2,
+            s > 2,
+            ~(s > 2),
+            s.isnull(),
+            s.notnull(),
+            s.fillna(0.0),
+            s.between(1, 3),
+            s.isin([1.0, 3.0]),
+            s.duplicated(),
+            s.astype(float),
+            s.map({1.0: 10.0}),
+            s.apply(lambda v: v),
+            s.replace(1.0, 9.0),
+            s.clip(lower=2.0),
+            s.abs(),
+            s.round(1),
+            s.shift(1),
+            s.cumsum(),
+            s.cummax(),
+            s.cummin(),
+            s.rank(),
+            s.ffill(),
+            s.bfill(),
+            s.interpolate(),
+            s.where(s > 2, 0.0),
+            s.mask(s > 2, 0.0),
+            s.combine_first(Series([9.0] * 4, index=["a", "b", "c", "d"])),
+            s.copy(),
+        ]
+        for out in derived:
+            assert out._index is s._index
+
+    def test_constructor_from_series_shares_index(self):
+        s = Series([1, 2], index=["a", "b"], name="x")
+        assert Series(s)._index is s._index
+        assert Series(s, index=["p", "q"])._index is not s._index
+
+    def test_label_changing_ops_do_not_share(self):
+        s = Series([3, 1, 2], index=["a", "b", "c"])
+        assert s.sort_values()._index is not s._index
+        assert s.dropna().index.tolist() == ["a", "b", "c"]
+
+    def test_copy_stays_independent(self):
+        s = Series([1, 2, 3], index=["a", "b", "c"], name="x")
+        dup = s.copy()
+        dup["a"] = 99
+        assert s["a"] == 1 and dup["a"] == 99
+        assert dup._index is s._index
+
+    def test_binary_op_coerces_numpy_scalars(self):
+        out = Series([1, 2]) + np.int64(1)
+        assert all(type(v) is int for v in out.tolist())
