@@ -8,15 +8,24 @@ Subcommands::
     python -m repro build-workload medical --out /tmp/workloads
     python -m repro detect-leakage --script prep.py --corpus-dir peers/ \
         --data-dir data/ --target Outcome
+    python -m repro index build  --corpus-dir peers/ --out peers.index.json
+    python -m repro index update --index peers.index.json
+    python -m repro index stats  --index peers.index.json
+
+``standardize``/``score``/``explain``/``detect-leakage`` also accept
+``--index peers.index.json`` instead of (or alongside) ``--corpus-dir``:
+the persisted offline phase is loaded in O(snapshot) and, when a corpus
+directory is also given, refreshed by reparsing only changed files.
 """
 
 from __future__ import annotations
 
 import argparse
 import glob
+import json
 import os
 import sys
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 from .core import (
     LSConfig,
@@ -26,6 +35,7 @@ from .core import (
     TableJaccardIntent,
 )
 from .core.explain import explain_result
+from .corpus import CorpusIndex, load_index, save_index
 from .lang import CorpusVocabulary
 from .workloads import build_competition, competition_names
 
@@ -33,19 +43,67 @@ __all__ = ["main", "build_parser"]
 
 
 def _read_corpus(corpus_dir: str) -> List[str]:
-    """Load a corpus: .py scripts plus flattened .ipynb notebooks."""
-    from .lang import scripts_from_notebook_dir
+    """Load a corpus: .py scripts plus flattened .ipynb notebooks.
+
+    Byte-identical duplicates are skipped with a warning — feeding the
+    same script twice would double-count its edges in Q(x) and skew
+    every standardness score toward the duplicated steps.  A notebook
+    that fails to flatten is reported (with its path) and skipped, so
+    one corrupt download cannot abort the whole corpus load.
+    """
+    from .lang import script_from_notebook
 
     py_paths = sorted(glob.glob(os.path.join(corpus_dir, "*.py")))
     nb_paths = sorted(glob.glob(os.path.join(corpus_dir, "*.ipynb")))
-    scripts = []
+    loaded: List[tuple] = []
     for path in py_paths:
         with open(path, "r") as handle:
-            scripts.append(handle.read())
-    scripts.extend(scripts_from_notebook_dir(nb_paths))
+            loaded.append((path, handle.read()))
+    for path in nb_paths:
+        try:
+            loaded.append((path, script_from_notebook(path)))
+        except (ValueError, json.JSONDecodeError, OSError) as exc:
+            print(
+                f"warning: skipping notebook {path}: {exc}",
+                file=sys.stderr,
+            )
+    scripts: List[str] = []
+    first_seen = {}
+    for path, text in loaded:
+        original = first_seen.get(text)
+        if original is not None:
+            print(
+                f"warning: skipping {path}: byte-identical to {original} "
+                "(duplicates would double-count in Q(x))",
+                file=sys.stderr,
+            )
+            continue
+        first_seen[text] = path
+        scripts.append(text)
     if not scripts:
         raise SystemExit(f"no .py or .ipynb scripts found in {corpus_dir!r}")
     return scripts
+
+
+def _corpus_input(args) -> Union[List[str], CorpusIndex]:
+    """Resolve --index/--corpus-dir into what LucidScript should curate.
+
+    With ``--index``, the persisted offline phase is loaded without
+    reparsing; a ``--corpus-dir`` given alongside refreshes it in
+    memory first (only changed files are reparsed; the snapshot on disk
+    is not rewritten — use ``index update`` for that).
+    """
+    index_path = getattr(args, "index", None)
+    if index_path:
+        index = load_index(index_path)
+        if args.corpus_dir:
+            index.refresh(args.corpus_dir)
+        if not index.n_scripts:
+            raise SystemExit(f"corpus index {index_path!r} is empty")
+        return index
+    if not args.corpus_dir:
+        raise SystemExit("one of --corpus-dir or --index is required")
+    return _read_corpus(args.corpus_dir)
 
 
 def _read_script(path: str) -> str:
@@ -71,7 +129,12 @@ def _make_config(args) -> LSConfig:
 
 def _add_common(parser: argparse.ArgumentParser, with_search: bool = True) -> None:
     parser.add_argument("--script", required=True, help="user script path")
-    parser.add_argument("--corpus-dir", required=True, help="directory of peer .py scripts")
+    parser.add_argument("--corpus-dir", help="directory of peer .py scripts")
+    parser.add_argument(
+        "--index",
+        help="persisted corpus index (from 'index build'); loads the offline "
+        "phase without reparsing, refreshed against --corpus-dir when given",
+    )
     if with_search:
         parser.add_argument("--data-dir", help="directory holding the dataset CSVs")
         parser.add_argument("--tau-j", type=float, default=0.9,
@@ -122,6 +185,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_curate.add_argument("--out", required=True,
                           help="path for the vocabulary JSON")
 
+    p_index = sub.add_parser(
+        "index", help="build / update / inspect a persistent corpus index"
+    )
+    index_sub = p_index.add_subparsers(dest="index_command", required=True)
+    p_ibuild = index_sub.add_parser(
+        "build", help="index a corpus directory from scratch and persist it"
+    )
+    p_ibuild.add_argument("--corpus-dir", required=True,
+                          help="directory of peer .py/.ipynb scripts")
+    p_ibuild.add_argument("--out", required=True,
+                          help="path for the index snapshot JSON")
+    p_iupdate = index_sub.add_parser(
+        "update", help="stat-scan the corpus directory, reparse only changes"
+    )
+    p_iupdate.add_argument("--index", required=True, help="index snapshot to update")
+    p_iupdate.add_argument("--corpus-dir",
+                           help="override the recorded corpus directory")
+    p_iupdate.add_argument("--audit", action="store_true",
+                           help="verify bit-identity against a from-scratch rebuild")
+    p_istats = index_sub.add_parser(
+        "stats", help="corpus statistics and cache provenance of an index"
+    )
+    p_istats.add_argument("--index", required=True, help="index snapshot to inspect")
+    p_istats.add_argument("--audit", action="store_true",
+                          help="verify bit-identity against a from-scratch rebuild")
+
     return parser
 
 
@@ -130,7 +219,7 @@ def _resolve_sample_rows(args) -> Optional[int]:
 
 
 def cmd_standardize(args) -> int:
-    corpus = _read_corpus(args.corpus_dir)
+    corpus = _corpus_input(args)
     config = _make_config(args)
     config.sample_rows = _resolve_sample_rows(args)
     system = LucidScript(
@@ -150,7 +239,7 @@ def cmd_standardize(args) -> int:
 
 
 def cmd_score(args) -> int:
-    corpus = _read_corpus(args.corpus_dir)
+    corpus = _corpus_input(args)
     system = LucidScript(corpus)
     score = system.score(_read_script(args.script))
     print(f"{score:.4f}")
@@ -158,7 +247,7 @@ def cmd_score(args) -> int:
 
 
 def cmd_explain(args) -> int:
-    corpus = _read_corpus(args.corpus_dir)
+    corpus = _corpus_input(args)
     config = _make_config(args)
     config.sample_rows = _resolve_sample_rows(args)
     system = LucidScript(
@@ -195,7 +284,7 @@ def cmd_build_workload(args) -> int:
 
 
 def cmd_detect_leakage(args) -> int:
-    corpus = _read_corpus(args.corpus_dir)
+    corpus = _corpus_input(args)
     config = _make_config(args)
     config.sample_rows = _resolve_sample_rows(args)
     system = LucidScript(
@@ -232,8 +321,63 @@ def cmd_curate(args) -> int:
     return 0
 
 
+def _print_index_summary(index: CorpusIndex) -> None:
+    stats = index.stats()
+    print(
+        f"scripts: {stats.n_scripts} ({index.n_unique_scripts} unique by content)"
+    )
+    print(
+        f"vocabulary: {stats.uniq_onegrams} 1-grams, {stats.uniq_ngrams} n-grams, "
+        f"{stats.uniq_edges} edges"
+    )
+    if index.corpus_dir:
+        print(f"corpus dir: {index.corpus_dir}")
+
+
+def cmd_index(args) -> int:
+    if args.index_command == "build":
+        index = CorpusIndex()
+        report = index.refresh(args.corpus_dir)
+        if not index.n_scripts:
+            raise SystemExit(
+                f"no indexable scripts found in {args.corpus_dir!r} "
+                f"({report.failed} failed)"
+            )
+        save_index(index, args.out)
+        print(f"indexed {index.n_scripts} scripts -> {args.out}")
+        _print_index_summary(index)
+        return 0
+
+    index = load_index(args.index)
+    if args.index_command == "update":
+        try:
+            report = index.refresh(args.corpus_dir or index.corpus_dir)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        if args.audit:
+            index.verify()
+        save_index(index, args.index)
+        summary = ", ".join(f"{k}={v}" for k, v in report.as_dict().items())
+        print(f"updated {args.index}: {summary}")
+        for name in report.failed_paths:
+            print(f"warning: failed to index {name}", file=sys.stderr)
+        _print_index_summary(index)
+        return 0
+
+    # stats
+    if args.audit:
+        index.verify()
+        print("audit: incremental index is bit-identical to a cold rebuild")
+    _print_index_summary(index)
+    for key, value in index.stats().as_dict().items():
+        print(f"  {key}: {value}")
+    return 0
+
+
 _COMMANDS = {
     "curate": cmd_curate,
+    "index": cmd_index,
     "standardize": cmd_standardize,
     "score": cmd_score,
     "explain": cmd_explain,

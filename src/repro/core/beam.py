@@ -112,6 +112,9 @@ class SearchStats:
     n_column_set_reuse: int = 0
     n_intent_short_circuits: int = 0
     intent_speedup: float = 0.0
+    n_corpus_index_hits: int = 0
+    n_corpus_script_hits: int = 0
+    n_corpus_reparses: int = 0
     n_iterations: int = 0
     n_exec_batches: int = 0
     n_batched_checks: int = 0
@@ -155,6 +158,9 @@ class SearchStats:
             "ColumnSetReuse": float(self.n_column_set_reuse),
             "IntentShortCircuits": float(self.n_intent_short_circuits),
             "IntentSpeedup": self.intent_speedup,
+            "CorpusIndexHits": float(self.n_corpus_index_hits),
+            "CorpusScriptHits": float(self.n_corpus_script_hits),
+            "CorpusReparses": float(self.n_corpus_reparses),
             "CheckIfExecutesCPU": self.check_executes_cpu_s,
             "ExecBatches": float(self.n_exec_batches),
             "BatchedChecks": float(self.n_batched_checks),

@@ -108,6 +108,21 @@ class LSConfig:
         How many times one batched check may hard-kill and respawn the
         worker pool (hung or broken workers) before degrading to the
         serial loop.  0 degrades on the first pool fault.
+    corpus_cache:
+        Route corpus construction through the process-wide
+        content-addressed warm cache (:mod:`repro.corpus.cache`): each
+        unique corpus script is lemmatized and parsed at most once per
+        process, and a repeated ``LucidScript`` construction over the
+        same corpus sequence reuses the assembled index outright.
+        Bit-identical to ``CorpusVocabulary.from_scripts`` by
+        construction; on (the default) it only changes speed.
+    verify_index:
+        Debug mode: audit the corpus index backing this search against
+        a from-scratch offline-phase rebuild at construction time and
+        raise :class:`repro.corpus.IndexMismatchError` on any
+        divergence (exact comparison, including successor tie order and
+        relative-position float means).  Off by default — it exists to
+        audit the corpus engine, not for production.
     """
 
     seq: int = 16
@@ -130,6 +145,8 @@ class LSConfig:
     exec_timeout_s: Optional[float] = None
     statement_timeout_s: Optional[float] = None
     pool_respawn_limit: int = 1
+    corpus_cache: bool = True
+    verify_index: bool = False
 
     def __post_init__(self):
         if self.seq < 1:

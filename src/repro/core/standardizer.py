@@ -15,6 +15,12 @@ from hashlib import sha1
 from typing import List, Optional, Sequence, Tuple
 
 from .._lru import LRUCache
+from ..corpus import (
+    CorpusCacheCounters,
+    CorpusIndex,
+    cached_index,
+    corpus_cache_counters,
+)
 from ..lang import CorpusVocabulary, ScriptError, lemmatize, parse_script
 from ..minipandas import DataFrame
 from ..sandbox import IncrementalExecutor, run_script
@@ -232,8 +238,13 @@ class LucidScript:
     Parameters
     ----------
     corpus:
-        Peer data-preparation scripts (raw source texts) that process the
-        same (or a similar) dataset.
+        Peer data-preparation scripts that process the same (or a
+        similar) dataset.  Accepts raw source texts, a prebuilt
+        :class:`repro.corpus.CorpusIndex` (e.g. loaded from a snapshot
+        and ``refresh()``-ed), or a ready :class:`CorpusVocabulary`.
+        Raw texts route through the process-wide content-addressed warm
+        cache when ``config.corpus_cache`` is on, so repeated
+        constructions over the same corpus skip the offline phase.
     data_dir:
         Directory holding the dataset's CSV files; scripts' ``read_csv``
         paths are resolved against it.
@@ -247,17 +258,18 @@ class LucidScript:
 
     def __init__(
         self,
-        corpus: Sequence[str],
+        corpus,
         data_dir: Optional[str] = None,
         intent: Optional[IntentMeasure] = None,
         config: Optional[LSConfig] = None,
     ):
-        # Offline phase (Section 5.1): curate the search space once.
-        self.vocabulary = CorpusVocabulary.from_scripts(corpus)
+        self.config = config or LSConfig()
+        # Offline phase (Section 5.1): curate the search space once —
+        # or adopt a prebuilt/warm-cached index, which is bit-identical.
+        self.vocabulary, self._corpus_counters = self._curate(corpus)
         self.scorer = RelativeEntropyScorer(self.vocabulary)
         self.data_dir = data_dir
         self.intent = intent
-        self.config = config or LSConfig()
         self._executor: Optional[IncrementalExecutor] = None
         #: prepared intent state across standardize() calls, keyed by
         #: (original table fingerprint, intent identity)
@@ -265,6 +277,29 @@ class LucidScript:
 
     #: Distinct (original, intent) pairs whose prepared state is retained.
     INTENT_CACHE_LIMIT = 4
+
+    def _curate(self, corpus) -> Tuple[CorpusVocabulary, CorpusCacheCounters]:
+        """Resolve *corpus* (scripts | index | vocabulary) to a vocabulary.
+
+        Returns the vocabulary plus the warm-cache activity this
+        construction caused (index hits, content-addressed script hits,
+        actual reparses), which standardize() folds into SearchStats.
+        """
+        before = corpus_cache_counters()
+        if isinstance(corpus, CorpusIndex):
+            if self.config.verify_index:
+                corpus.verify()
+            vocabulary = corpus.to_vocabulary()
+        elif isinstance(corpus, CorpusVocabulary):
+            vocabulary = corpus
+        elif self.config.corpus_cache:
+            index = cached_index(corpus)
+            if self.config.verify_index:
+                index.verify()
+            vocabulary = index.to_vocabulary()
+        else:
+            vocabulary = CorpusVocabulary.from_scripts(corpus)
+        return vocabulary, corpus_cache_counters().delta(before)
 
     def _prepared_intent(
         self, original_output: DataFrame, counters: IntentStats
@@ -358,6 +393,7 @@ class LucidScript:
         )
         search.sync_cache_stats()  # fold verification-phase cache activity in
         self._fold_intent_stats(search.stats, intent_counters)
+        self._fold_corpus_stats(search.stats)
         return StandardizationResult(
             input_script=normalized,
             output_script=best.source(),
@@ -382,6 +418,19 @@ class LucidScript:
                 timeout_s=self.config.exec_timeout_s,
             )
         return result.output if result.ok else None
+
+    def _fold_corpus_stats(self, stats: SearchStats) -> None:
+        """Surface the offline-phase warm-cache activity on SearchStats.
+
+        The counters were captured once at construction (the corpus is
+        curated exactly once per LucidScript), so every standardize()
+        call reports the same provenance: how this system's search
+        space was obtained — served whole from the index cache, from
+        content-addressed script records, or by actually reparsing.
+        """
+        stats.n_corpus_index_hits = self._corpus_counters.index_hits
+        stats.n_corpus_script_hits = self._corpus_counters.script_hits
+        stats.n_corpus_reparses = self._corpus_counters.script_parses
 
     @staticmethod
     def _fold_intent_stats(stats: SearchStats, counters: IntentStats) -> None:

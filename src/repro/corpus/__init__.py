@@ -1,0 +1,40 @@
+"""repro.corpus — persistent, content-addressed corpus index.
+
+The offline phase (Section 5.1) as a long-lived, incrementally
+maintained asset: a content-addressed :class:`ScriptStore` parses each
+unique corpus script once, a :class:`CorpusIndex` keeps the exact
+``CorpusVocabulary`` sufficient statistics under O(changed script)
+add/remove/refresh deltas, snapshots persist to disk with a staleness
+manifest, and a process-wide warm cache makes repeated ``LucidScript``
+constructions over the same corpus near-free.
+"""
+
+from .cache import (
+    CorpusCacheCounters,
+    cached_index,
+    clear_corpus_cache,
+    corpus_cache_counters,
+    shared_store,
+)
+from .index import CorpusIndex, IndexMismatchError, RefreshReport
+from .persistence import index_from_dict, index_to_dict, load_index, save_index
+from .store import ScriptRecord, ScriptStore, StoreCounters, content_address
+
+__all__ = [
+    "CorpusCacheCounters",
+    "CorpusIndex",
+    "IndexMismatchError",
+    "RefreshReport",
+    "ScriptRecord",
+    "ScriptStore",
+    "StoreCounters",
+    "cached_index",
+    "clear_corpus_cache",
+    "content_address",
+    "corpus_cache_counters",
+    "index_from_dict",
+    "index_to_dict",
+    "load_index",
+    "save_index",
+    "shared_store",
+]

@@ -1,0 +1,112 @@
+"""Process-wide warm corpus cache.
+
+Two layers, both content-addressed:
+
+* a shared :class:`~repro.corpus.store.ScriptStore` — every unique
+  corpus script is lemmatized and parsed at most once per process, no
+  matter how many indexes or ``LucidScript`` instances reference it
+  (leave-one-out sweeps hit this layer N−1 times out of N);
+* an LRU of assembled :class:`~repro.corpus.index.CorpusIndex` objects
+  keyed by the exact raw corpus sequence — a repeated
+  ``LucidScript(corpus)`` construction over the same scripts skips even
+  the counter merging and goes straight to ``to_vocabulary()``.
+
+Both layers only ever return structures that are bit-identical to a
+cold ``CorpusVocabulary.from_scripts`` build, so the cache is a pure
+speed knob (``LSConfig.corpus_cache``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from hashlib import sha1
+from typing import Sequence, Tuple
+
+from .._lru import LRUCache
+from .index import CorpusIndex
+from .store import ScriptStore
+
+__all__ = [
+    "CorpusCacheCounters",
+    "cached_index",
+    "clear_corpus_cache",
+    "corpus_cache_counters",
+    "shared_store",
+]
+
+#: Assembled indexes retained for identical corpus sequences.
+INDEX_CACHE_LIMIT = 8
+
+_SHARED_STORE = ScriptStore()
+_INDEX_CACHE: LRUCache = LRUCache(INDEX_CACHE_LIMIT)
+
+
+@dataclass(frozen=True)
+class CorpusCacheCounters:
+    """Point-in-time totals of the warm cache's activity."""
+
+    index_hits: int
+    index_misses: int
+    script_hits: int
+    script_parses: int
+    script_failures: int
+
+    def delta(self, earlier: "CorpusCacheCounters") -> "CorpusCacheCounters":
+        return CorpusCacheCounters(
+            index_hits=self.index_hits - earlier.index_hits,
+            index_misses=self.index_misses - earlier.index_misses,
+            script_hits=self.script_hits - earlier.script_hits,
+            script_parses=self.script_parses - earlier.script_parses,
+            script_failures=self.script_failures - earlier.script_failures,
+        )
+
+
+def shared_store() -> ScriptStore:
+    """The process-wide content-addressed parse cache."""
+    return _SHARED_STORE
+
+
+def _corpus_key(scripts: Sequence[str]) -> str:
+    digest = sha1()
+    for script in scripts:
+        digest.update(script.encode())
+        digest.update(b"\x00")
+    digest.update(str(len(scripts)).encode())
+    return digest.hexdigest()
+
+
+def cached_index(scripts: Sequence[str]) -> CorpusIndex:
+    """The warm index for this exact corpus sequence (built on miss).
+
+    Raises :class:`~repro.lang.errors.ScriptError` when no script
+    parses, exactly like ``CorpusVocabulary.from_scripts``.  The
+    returned index is shared — treat it as read-only, or derive a
+    private vocabulary via ``to_vocabulary()`` (which copies).
+    """
+    key = _corpus_key(scripts)
+    index = _INDEX_CACHE.get(key)
+    if index is not None:
+        return index
+    index = CorpusIndex.from_scripts(scripts, store=_SHARED_STORE)
+    _INDEX_CACHE[key] = index
+    return index
+
+
+def corpus_cache_counters() -> CorpusCacheCounters:
+    counters = _SHARED_STORE.counters
+    return CorpusCacheCounters(
+        index_hits=_INDEX_CACHE.hits,
+        index_misses=_INDEX_CACHE.misses,
+        script_hits=counters.hits,
+        script_parses=counters.parses,
+        script_failures=counters.failures,
+    )
+
+
+def clear_corpus_cache() -> None:
+    """Drop both warm-cache layers (tests and memory-pressure hooks)."""
+    global _SHARED_STORE
+    _SHARED_STORE = ScriptStore()
+    _INDEX_CACHE.clear()
+    _INDEX_CACHE.hits = 0
+    _INDEX_CACHE.misses = 0

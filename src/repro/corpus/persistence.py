@@ -1,0 +1,140 @@
+"""On-disk snapshots of a :class:`~repro.corpus.index.CorpusIndex`.
+
+Extends the offline-phase persistence of :mod:`repro.lang.persistence`
+(which freezes one *vocabulary*) to the full incremental index: the
+snapshot carries the content-addressed script records, the membership
+order, and the directory manifest (per-file sha1 + mtime + size), so a
+reloaded index can ``refresh()`` against its corpus directory and
+reparse only files whose bytes actually changed.
+
+Everything order-sensitive (successor target lists, position lists,
+membership) is stored as JSON arrays, so a load → ``to_vocabulary()``
+is bit-identical to the index that was saved.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict, Optional
+
+from ..lang.persistence import check_format_version
+from .index import CorpusIndex, _FileEntry
+from .store import ScriptRecord, ScriptStore
+
+__all__ = ["save_index", "load_index", "index_to_dict", "index_from_dict"]
+
+_INDEX_FORMAT_VERSION = 1
+
+
+def _record_to_dict(record: ScriptRecord) -> dict:
+    return {
+        "source": record.source,
+        "n_statements": record.n_statements,
+        "edge_counts": [
+            [source, target, count]
+            for (source, target), count in record.edge_counts.items()
+        ],
+        "onegram_counts": dict(record.onegram_counts),
+        "ngram_counts": dict(record.ngram_counts),
+        "successors_by_source": record.successors_by_source,
+        "template_slots": {
+            sig: [first_df, first_any]
+            for sig, (first_df, first_any) in record.template_slots.items()
+        },
+        "position_lists": record.position_lists,
+    }
+
+
+def _record_from_dict(content_hash: str, payload: dict) -> ScriptRecord:
+    return ScriptRecord(
+        content_hash=content_hash,
+        source=payload["source"],
+        n_statements=int(payload["n_statements"]),
+        edge_counts=Counter(
+            {(s, t): c for s, t, c in payload["edge_counts"]}
+        ),
+        onegram_counts=Counter(payload["onegram_counts"]),
+        ngram_counts=Counter(payload["ngram_counts"]),
+        successors_by_source={
+            sig: list(targets)
+            for sig, targets in payload["successors_by_source"].items()
+        },
+        template_slots={
+            sig: (slot[0], slot[1]) for sig, slot in payload["template_slots"].items()
+        },
+        position_lists={
+            sig: [float(v) for v in values]
+            for sig, values in payload["position_lists"].items()
+        },
+    )
+
+
+def index_to_dict(index: CorpusIndex) -> dict:
+    """JSON-serializable snapshot: records + membership + manifest."""
+    return {
+        "format_version": _INDEX_FORMAT_VERSION,
+        "corpus_dir": index.corpus_dir,
+        "n_failures": index.n_failures,
+        "members": [
+            [script_id, content_hash]
+            for script_id, content_hash in index._members.items()
+        ],
+        "records": {
+            content_hash: _record_to_dict(record)
+            for content_hash, record in index._records.items()
+        },
+        "manifest": {
+            name: {
+                "script_id": entry.script_id,
+                "sha1": entry.raw_sha,
+                "mtime_ns": entry.mtime_ns,
+                "size": entry.size,
+            }
+            for name, entry in index._files.items()
+        },
+    }
+
+
+def index_from_dict(payload: dict, store: Optional[ScriptStore] = None) -> CorpusIndex:
+    """Rebuild an index from its snapshot without reparsing anything.
+
+    Members are re-admitted through the normal delta path (in saved
+    order, with their saved ids), so every aggregate and derived
+    structure is reconstructed by the same code that maintains them
+    live — there is no second, drift-prone restore path.
+    """
+    check_format_version(
+        payload.get("format_version"), _INDEX_FORMAT_VERSION, "corpus index"
+    )
+    index = CorpusIndex(store=store)
+    records: Dict[str, ScriptRecord] = {
+        content_hash: _record_from_dict(content_hash, record_payload)
+        for content_hash, record_payload in payload["records"].items()
+    }
+    for record in records.values():
+        index.store.put(record)
+    for script_id, content_hash in payload["members"]:
+        index._admit(records[content_hash], script_id=int(script_id))
+    index.n_failures = int(payload.get("n_failures", 0))
+    index.corpus_dir = payload.get("corpus_dir")
+    for name, entry in payload.get("manifest", {}).items():
+        index._files[name] = _FileEntry(
+            script_id=entry["script_id"],
+            raw_sha=entry["sha1"],
+            mtime_ns=int(entry["mtime_ns"]),
+            size=int(entry["size"]),
+        )
+    return index
+
+
+def save_index(index: CorpusIndex, path: str) -> None:
+    """Write an index snapshot to *path* as JSON."""
+    with open(path, "w") as handle:
+        json.dump(index_to_dict(index), handle, indent=1)
+
+
+def load_index(path: str, store: Optional[ScriptStore] = None) -> CorpusIndex:
+    """Load a snapshot previously written by :func:`save_index`."""
+    with open(path, "r") as handle:
+        return index_from_dict(json.load(handle), store=store)

@@ -1,0 +1,169 @@
+"""Content-addressed script storage (the corpus subsystem's parse cache).
+
+Corpus scripts are addressed by the sha1 of their *lemmatized* source:
+two raw scripts that lemmatize to the same canonical text are the same
+corpus script, parsed once.  Each stored record carries everything the
+:class:`~repro.corpus.index.CorpusIndex` needs to add or remove the
+script from the aggregate sufficient statistics as a pure count delta —
+per-script edge/atom counters, inter-statement successor pairs in DAG
+order, 1-gram template candidates, and per-signature relative-position
+lists — so membership changes never touch the AST again.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from hashlib import sha1
+from typing import Dict, List, Optional, Tuple
+
+from ..lang.errors import ScriptError
+from ..lang.lemmatize import lemmatize
+from ..lang.parser import ScriptDAG, parse_script
+
+__all__ = ["ScriptRecord", "ScriptStore", "StoreCounters", "content_address"]
+
+
+def content_address(lemmatized_source: str) -> str:
+    """sha1 hex digest of a lemmatized script — the corpus content key."""
+    return sha1(lemmatized_source.encode()).hexdigest()
+
+
+#: Per-1-gram template candidates inside one script, as
+#: ``(first_df_source, first_any_source)``: the first enclosing statement
+#: whose source starts with ``"df = "`` (None when the script has none
+#: for this signature) and the first enclosing statement overall.  These
+#: two slots are sufficient to replay :class:`CorpusVocabulary`'s
+#: template-preference rule across any corpus ordering.
+TemplateSlot = Tuple[Optional[str], str]
+
+
+@dataclass(frozen=True)
+class ScriptRecord:
+    """One unique corpus script and its precomputed count contributions."""
+
+    content_hash: str
+    source: str  #: lemmatized source (the canonical text that was hashed)
+    n_statements: int
+    edge_counts: Counter
+    onegram_counts: Counter
+    ngram_counts: Counter
+    #: inter-statement successor targets per source n-gram, preserving
+    #: the script's ``inter_edges()`` order (drives Counter insertion
+    #: order, hence ``most_common()`` tie order, in the rebuilt index)
+    successors_by_source: Dict[str, List[str]]
+    #: 1-gram signature -> template candidates (see TemplateSlot)
+    template_slots: Dict[str, TemplateSlot]
+    #: n-gram signature -> relative positions, in statement order
+    position_lists: Dict[str, List[float]]
+
+    @classmethod
+    def from_dag(cls, content_hash: str, source: str, dag: ScriptDAG) -> "ScriptRecord":
+        successors: Dict[str, List[str]] = {}
+        for edge in dag.inter_edges():
+            successors.setdefault(edge.source, []).append(edge.target)
+        slots: Dict[str, TemplateSlot] = {}
+        positions: Dict[str, List[float]] = {}
+        n = max(len(dag) - 1, 1)
+        for stmt in dag.statements:
+            positions.setdefault(stmt.ngram.signature, []).append(stmt.index / n)
+            is_df = stmt.source.startswith("df = ")
+            for atom in stmt.onegrams:
+                first_df, first_any = slots.get(atom.signature, (None, None))
+                if first_any is None:
+                    first_any = stmt.source
+                if first_df is None and is_df:
+                    first_df = stmt.source
+                slots[atom.signature] = (first_df, first_any)
+        return cls(
+            content_hash=content_hash,
+            source=source,
+            n_statements=len(dag),
+            edge_counts=dag.edge_counter(),
+            onegram_counts=dag.onegram_counter(),
+            ngram_counts=dag.ngram_counter(),
+            successors_by_source=successors,
+            template_slots=slots,
+            position_lists=positions,
+        )
+
+
+@dataclass
+class StoreCounters:
+    """Observable cache behaviour of one :class:`ScriptStore`."""
+
+    hits: int = 0  #: record served without lemmatize+parse
+    lemma_hits: int = 0  #: raw bytes seen before — lemmatize skipped too
+    parses: int = 0  #: full lemmatize+parse (cache misses)
+    failures: int = 0  #: scripts rejected by the parser
+
+    def snapshot(self) -> Tuple[int, int, int, int]:
+        return (self.hits, self.lemma_hits, self.parses, self.failures)
+
+
+class ScriptStore:
+    """Content-addressed records, deduplicating identical corpus scripts.
+
+    The store may be private to one index or shared process-wide (see
+    :mod:`repro.corpus.cache`): records are immutable, so sharing is
+    safe, and a leave-one-out sweep or repeated ``LucidScript``
+    constructions over overlapping corpora parse each unique script once.
+    A raw-text memo additionally skips lemmatization when the exact same
+    bytes are offered again.
+    """
+
+    def __init__(self):
+        self._records: Dict[str, ScriptRecord] = {}
+        #: sha1(raw source) -> content hash, so byte-identical re-adds
+        #: skip lemmatization entirely
+        self._raw_memo: Dict[str, str] = {}
+        self.counters = StoreCounters()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, content_hash: str) -> bool:
+        return content_hash in self._records
+
+    def get(self, content_hash: str) -> Optional[ScriptRecord]:
+        return self._records.get(content_hash)
+
+    def put(self, record: ScriptRecord) -> None:
+        """Insert an externally built record (snapshot restore path)."""
+        self._records.setdefault(record.content_hash, record)
+
+    def get_or_parse(self, raw_source: str) -> Optional[ScriptRecord]:
+        """The record for *raw_source*, parsing at most once per content.
+
+        Returns None when the script is not parseable (mirroring
+        :meth:`CorpusVocabulary.from_scripts`, which skips broken
+        corpus scripts); the failure is counted, not raised.
+        """
+        raw_key = sha1(raw_source.encode()).hexdigest()
+        content_hash = self._raw_memo.get(raw_key)
+        if content_hash is not None:
+            record = self._records.get(content_hash)
+            if record is not None:
+                self.counters.hits += 1
+                self.counters.lemma_hits += 1
+                return record
+        try:
+            lemmatized = lemmatize(raw_source)
+        except ScriptError:
+            self.counters.failures += 1
+            return None
+        content_hash = content_address(lemmatized)
+        self._raw_memo[raw_key] = content_hash
+        record = self._records.get(content_hash)
+        if record is not None:
+            self.counters.hits += 1
+            return record
+        try:
+            dag = parse_script(lemmatized, lemmatized=True)
+        except ScriptError:  # pragma: no cover - lemmatize already parsed
+            self.counters.failures += 1
+            return None
+        self.counters.parses += 1
+        record = ScriptRecord.from_dag(content_hash, lemmatized, dag)
+        self._records[content_hash] = record
+        return record

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..baselines import Baseline
+from ..corpus import shared_store
 from ..core import (
     IntentMeasure,
     LSConfig,
@@ -139,6 +140,16 @@ def evaluate_lucidscript(
     """
     run = MethodRun(method=f"LS ({intent_kind})", dataset=corpus.name)
     config = config or LSConfig()
+    if config.corpus_cache:
+        # Prewarm the content-addressed store once: every leave-one-out
+        # reference corpus is a subset of these scripts, so each system
+        # construction inside the loop assembles its search space from
+        # cached records instead of reparsing N-1 scripts per script.
+        store = shared_store()
+        for script in corpus.scripts:
+            store.get_or_parse(script)
+        for script in corpus_override or ():
+            store.get_or_parse(script)
     pairs = list(corpus.leave_one_out())
     if max_scripts is not None:
         pairs = pairs[:max_scripts]

@@ -14,9 +14,37 @@ from typing import Dict
 
 from .vocabulary import CorpusVocabulary
 
-__all__ = ["save_vocabulary", "load_vocabulary", "vocabulary_to_dict", "vocabulary_from_dict"]
+__all__ = [
+    "save_vocabulary",
+    "load_vocabulary",
+    "vocabulary_to_dict",
+    "vocabulary_from_dict",
+    "check_format_version",
+]
 
 _FORMAT_VERSION = 1
+
+
+def check_format_version(found, supported: int, what: str) -> None:
+    """Reject snapshots this build cannot faithfully interpret.
+
+    A *newer* ``format_version`` means the snapshot was written by a
+    later build whose schema this one does not know — loading it anyway
+    could succeed structurally yet be silently wrong, so the error says
+    to upgrade (or rebuild the snapshot).  Anything else that is not the
+    supported version is malformed or from a retired format.
+    """
+    if found == supported:
+        return
+    if isinstance(found, int) and found > supported:
+        raise ValueError(
+            f"{what} snapshot has format_version {found}, newer than the "
+            f"supported version {supported}: upgrade repro, or rebuild the "
+            f"snapshot with this version"
+        )
+    raise ValueError(
+        f"unsupported {what} format version: {found!r} (expected {supported})"
+    )
 
 
 def vocabulary_to_dict(vocabulary: CorpusVocabulary) -> dict:
@@ -46,12 +74,7 @@ def vocabulary_to_dict(vocabulary: CorpusVocabulary) -> dict:
 
 def vocabulary_from_dict(payload: dict) -> CorpusVocabulary:
     """Rebuild a vocabulary from its serialized form (no reparsing)."""
-    version = payload.get("format_version")
-    if version != _FORMAT_VERSION:
-        raise ValueError(
-            f"unsupported vocabulary format version: {version!r} "
-            f"(expected {_FORMAT_VERSION})"
-        )
+    check_format_version(payload.get("format_version"), _FORMAT_VERSION, "vocabulary")
     vocabulary = CorpusVocabulary.__new__(CorpusVocabulary)
     vocabulary._dags = []
     vocabulary.edge_counts = Counter(

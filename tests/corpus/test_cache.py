@@ -1,0 +1,136 @@
+"""Tests for the warm cache and its LucidScript wiring.
+
+The acceptance contract: routing corpus construction through the index
+(warm cache or a prebuilt ``CorpusIndex``) changes construction cost
+only — scores and search results are identical to the cache-free path.
+"""
+
+import pytest
+
+from repro.core import LSConfig, LucidScript, TableJaccardIntent
+from repro.corpus import (
+    CorpusIndex,
+    cached_index,
+    clear_corpus_cache,
+    corpus_cache_counters,
+    shared_store,
+)
+from repro.lang import CorpusVocabulary
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_corpus_cache()
+    yield
+    clear_corpus_cache()
+
+
+class TestWarmCache:
+    def test_repeat_construction_hits_index_layer(self, diabetes_corpus):
+        cached_index(diabetes_corpus)
+        before = corpus_cache_counters()
+        again = cached_index(diabetes_corpus)
+        delta = corpus_cache_counters().delta(before)
+        assert delta.index_hits == 1
+        assert delta.script_parses == 0
+        assert again.n_scripts == 3
+
+    def test_overlapping_corpora_share_the_store(self, diabetes_corpus):
+        cached_index(diabetes_corpus)
+        before = corpus_cache_counters()
+        cached_index(diabetes_corpus[:2])  # different sequence, same scripts
+        delta = corpus_cache_counters().delta(before)
+        assert delta.index_misses == 1
+        assert delta.script_parses == 0  # every script already stored
+
+    def test_prewarm_via_shared_store(self, diabetes_corpus):
+        store = shared_store()
+        for script in diabetes_corpus:
+            store.get_or_parse(script)
+        before = corpus_cache_counters()
+        cached_index(diabetes_corpus)
+        assert corpus_cache_counters().delta(before).script_parses == 0
+
+    def test_clear_resets_both_layers(self, diabetes_corpus):
+        cached_index(diabetes_corpus)
+        clear_corpus_cache()
+        counters = corpus_cache_counters()
+        assert counters.index_hits == counters.index_misses == 0
+        assert counters.script_parses == 0
+
+
+class TestLucidScriptWiring:
+    def test_cached_vocabulary_bit_identical(self, diabetes_corpus):
+        system = LucidScript(diabetes_corpus)
+        fresh = CorpusVocabulary.from_scripts(diabetes_corpus)
+        assert system.vocabulary.edge_counts == fresh.edge_counts
+        assert system.vocabulary.relative_positions == fresh.relative_positions
+        assert {
+            s: list(c.items()) for s, c in system.vocabulary.successors.items()
+        } == {s: list(c.items()) for s, c in fresh.successors.items()}
+
+    def test_accepts_prebuilt_index(self, diabetes_corpus):
+        index = CorpusIndex.from_scripts(diabetes_corpus)
+        system = LucidScript(index)
+        assert system.vocabulary.stats().n_scripts == 3
+
+    def test_accepts_vocabulary_directly(self, diabetes_corpus):
+        vocabulary = CorpusVocabulary.from_scripts(diabetes_corpus)
+        system = LucidScript(vocabulary)
+        assert system.vocabulary is vocabulary
+
+    def test_verify_index_audits_construction(self, diabetes_corpus):
+        LucidScript(diabetes_corpus, config=LSConfig(verify_index=True))
+
+    def test_search_results_identical_with_and_without_index(
+        self, diabetes_corpus, alex_script, diabetes_dir
+    ):
+        """Acceptance: same output script, improvement, and scores on the
+        cache-free, warm-cache, and prebuilt-index paths."""
+        results = []
+        for corpus in (
+            diabetes_corpus,  # warm cache (corpus_cache=True default)
+            CorpusIndex.from_scripts(diabetes_corpus),  # prebuilt index
+        ):
+            system = LucidScript(
+                corpus,
+                data_dir=diabetes_dir,
+                intent=TableJaccardIntent(tau=0.5),
+                config=LSConfig(seq=6, beam_size=2, sample_rows=120),
+            )
+            results.append(system.standardize(alex_script))
+        cold = LucidScript(
+            diabetes_corpus,
+            data_dir=diabetes_dir,
+            intent=TableJaccardIntent(tau=0.5),
+            config=LSConfig(
+                seq=6, beam_size=2, sample_rows=120, corpus_cache=False
+            ),
+        ).standardize(alex_script)
+        for result in results:
+            assert result.output_script == cold.output_script
+            assert result.improvement == cold.improvement
+            assert result.re_before == cold.re_before
+            assert result.re_after == cold.re_after
+
+    def test_corpus_counters_surface_in_search_stats(
+        self, diabetes_corpus, alex_script, diabetes_dir
+    ):
+        config = LSConfig(seq=4, beam_size=1, sample_rows=120)
+        LucidScript(
+            diabetes_corpus,
+            data_dir=diabetes_dir,
+            intent=TableJaccardIntent(tau=0.5),
+            config=config,
+        )
+        system = LucidScript(
+            diabetes_corpus,
+            data_dir=diabetes_dir,
+            intent=TableJaccardIntent(tau=0.5),
+            config=config,
+        )
+        result = system.standardize(alex_script)
+        breakdown = result.stats.breakdown()
+        assert breakdown["CorpusIndexHits"] == 1
+        assert breakdown["CorpusReparses"] == 0
+        assert "CorpusScriptHits" in breakdown

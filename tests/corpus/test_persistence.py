@@ -1,0 +1,94 @@
+"""Tests for corpus-index snapshots (save/load + format versioning)."""
+
+import json
+import os
+
+import pytest
+
+from repro.corpus import (
+    CorpusIndex,
+    ScriptStore,
+    index_from_dict,
+    index_to_dict,
+    load_index,
+    save_index,
+)
+
+from .test_index import SCRIPT_POOL, assert_bit_identical
+
+
+@pytest.fixture()
+def index(tmp_path, diabetes_corpus):
+    d = tmp_path / "corpus"
+    d.mkdir()
+    for position, script in enumerate(diabetes_corpus):
+        (d / f"peer_{position}.py").write_text(script + "\n")
+    built = CorpusIndex()
+    built.refresh(str(d))
+    return built
+
+
+class TestRoundtrip:
+    def test_vocabulary_bit_identical(self, index, tmp_path):
+        path = str(tmp_path / "index.json")
+        save_index(index, path)
+        restored = load_index(path)
+        assert_bit_identical(restored.to_vocabulary(), index.to_vocabulary())
+        restored.verify()
+
+    def test_reload_parses_nothing(self, index, tmp_path):
+        path = str(tmp_path / "index.json")
+        save_index(index, path)
+        store = ScriptStore()
+        restored = load_index(path, store=store)
+        assert store.counters.parses == 0
+        assert restored.n_scripts == index.n_scripts
+
+    def test_manifest_survives_so_refresh_is_warm(self, index, tmp_path):
+        path = str(tmp_path / "index.json")
+        save_index(index, path)
+        restored = load_index(path)
+        report = restored.refresh()
+        assert report.unchanged_stat == 3
+        assert report.reparsed == 0
+
+    def test_refresh_after_reload_sees_changes(self, index, tmp_path, alex_script):
+        path = str(tmp_path / "index.json")
+        save_index(index, path)
+        changed = os.path.join(index.corpus_dir, "peer_0.py")
+        with open(changed, "w") as handle:
+            handle.write(alex_script + "\n")
+        restored = load_index(path)
+        report = restored.refresh()
+        assert report.changed == 1
+        assert report.reparsed == 1
+        restored.verify()
+
+    def test_member_order_preserved(self):
+        index = CorpusIndex.from_scripts(SCRIPT_POOL)
+        index.remove_script(index.script_ids()[2])
+        restored = index_from_dict(index_to_dict(index))
+        assert restored.script_ids() == index.script_ids()
+        assert restored.content_hashes() == index.content_hashes()
+
+    def test_snapshot_is_json_with_version(self, index, tmp_path):
+        path = str(tmp_path / "index.json")
+        save_index(index, path)
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["format_version"] == 1
+        assert len(payload["members"]) == 3
+
+
+class TestFormatVersion:
+    def test_newer_version_rejected_with_clear_error(self, index):
+        payload = index_to_dict(index)
+        payload["format_version"] = 2
+        with pytest.raises(ValueError, match="newer than the supported"):
+            index_from_dict(payload)
+
+    def test_junk_version_rejected(self, index):
+        payload = index_to_dict(index)
+        payload["format_version"] = "banana"
+        with pytest.raises(ValueError, match="unsupported corpus index format"):
+            index_from_dict(payload)

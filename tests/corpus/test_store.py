@@ -1,0 +1,43 @@
+"""Tests for the content-addressed script store."""
+
+from repro.corpus import ScriptStore, content_address
+from repro.lang import lemmatize
+
+
+class TestContentAddressing:
+    def test_lemma_equivalent_scripts_share_a_record(self, diabetes_corpus):
+        # scripts 0 and 1 differ only in the dataframe variable name, so
+        # they lemmatize to the same canonical text
+        store = ScriptStore()
+        first = store.get_or_parse(diabetes_corpus[0])
+        second = store.get_or_parse(diabetes_corpus[1])
+        assert first is second
+        assert store.counters.parses == 1
+        assert store.counters.hits == 1
+
+    def test_content_hash_is_sha1_of_lemmatized(self, diabetes_corpus):
+        store = ScriptStore()
+        record = store.get_or_parse(diabetes_corpus[0])
+        assert record.content_hash == content_address(lemmatize(diabetes_corpus[0]))
+
+    def test_byte_identical_readd_skips_lemmatize(self, diabetes_corpus):
+        store = ScriptStore()
+        store.get_or_parse(diabetes_corpus[0])
+        assert store.counters.lemma_hits == 0
+        store.get_or_parse(diabetes_corpus[0])
+        assert store.counters.lemma_hits == 1
+
+    def test_unparseable_script_counts_a_failure(self):
+        store = ScriptStore()
+        assert store.get_or_parse("this is ( not python") is None
+        assert store.counters.failures == 1
+        assert len(store) == 0
+
+    def test_record_carries_count_contributions(self, diabetes_corpus):
+        store = ScriptStore()
+        record = store.get_or_parse(diabetes_corpus[0])
+        assert record.n_statements == 5
+        assert sum(record.onegram_counts.values()) > 0
+        assert record.position_lists
+        for values in record.position_lists.values():
+            assert all(0.0 <= v <= 1.0 for v in values)

@@ -90,6 +90,22 @@ class TestRoundtrip:
         with pytest.raises(ValueError):
             vocabulary_from_dict(payload)
 
+    def test_newer_version_names_the_remedy(self, vocab):
+        # a snapshot from a future release is distinguished from junk:
+        # the error says the file is newer and how to proceed
+        payload = vocabulary_to_dict(vocab)
+        payload["format_version"] = 2
+        with pytest.raises(ValueError, match="newer than the supported"):
+            vocabulary_from_dict(payload)
+        with pytest.raises(ValueError, match="rebuild the snapshot"):
+            vocabulary_from_dict(payload)
+
+    def test_non_integer_version_rejected(self, vocab):
+        payload = vocabulary_to_dict(vocab)
+        payload["format_version"] = "v1"
+        with pytest.raises(ValueError, match="unsupported"):
+            vocabulary_from_dict(payload)
+
     def test_epsilon_preserved(self, vocab, tmp_path):
         path = str(tmp_path / "v.json")
         save_vocabulary(vocab, path)

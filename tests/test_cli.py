@@ -141,6 +141,81 @@ class TestCurate:
         assert vocabulary.total_edges > 0
 
 
+class TestCorpusWarnings:
+    def test_duplicate_scripts_skipped_with_warning(
+        self, corpus_dir, script_path, capsys
+    ):
+        import shutil
+
+        shutil.copy(
+            os.path.join(corpus_dir, "peer_0.py"),
+            os.path.join(corpus_dir, "zz_copy.py"),
+        )
+        code = main(["score", "--script", script_path, "--corpus-dir", corpus_dir])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "byte-identical to" in err
+        assert "zz_copy.py" in err
+        assert "double-count" in err
+
+    def test_broken_notebook_names_the_file(self, corpus_dir, script_path, capsys):
+        with open(os.path.join(corpus_dir, "corrupt.ipynb"), "w") as handle:
+            handle.write("{not json")
+        code = main(["score", "--script", script_path, "--corpus-dir", corpus_dir])
+        assert code == 0  # one corrupt notebook does not abort the load
+        err = capsys.readouterr().err
+        assert "warning: skipping notebook" in err
+        assert "corrupt.ipynb" in err
+
+
+class TestIndexCommands:
+    def test_build_then_stats(self, corpus_dir, tmp_path, capsys):
+        snapshot = str(tmp_path / "index.json")
+        assert main(["index", "build", "--corpus-dir", corpus_dir,
+                     "--out", snapshot]) == 0
+        assert "indexed 3 scripts" in capsys.readouterr().out
+        assert main(["index", "stats", "--index", snapshot, "--audit"]) == 0
+        out = capsys.readouterr().out
+        assert "bit-identical to a cold rebuild" in out
+        assert "scripts: 3" in out
+
+    def test_update_reparses_only_changes(self, corpus_dir, tmp_path,
+                                          alex_script, capsys):
+        snapshot = str(tmp_path / "index.json")
+        main(["index", "build", "--corpus-dir", corpus_dir, "--out", snapshot])
+        capsys.readouterr()
+        assert main(["index", "update", "--index", snapshot, "--audit"]) == 0
+        assert "reparsed=0" in capsys.readouterr().out
+        with open(os.path.join(corpus_dir, "peer_1.py"), "w") as handle:
+            handle.write(alex_script + "\n")
+        assert main(["index", "update", "--index", snapshot, "--audit"]) == 0
+        out = capsys.readouterr().out
+        assert "changed=1" in out
+        assert "reparsed=1" in out
+
+    def test_build_empty_dir_exits(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(SystemExit):
+            main(["index", "build", "--corpus-dir", str(empty),
+                  "--out", str(tmp_path / "index.json")])
+
+    def test_score_accepts_index(self, corpus_dir, script_path, tmp_path, capsys):
+        snapshot = str(tmp_path / "index.json")
+        main(["index", "build", "--corpus-dir", corpus_dir, "--out", snapshot])
+        capsys.readouterr()
+        code = main(["score", "--script", script_path, "--index", snapshot])
+        assert code == 0
+        with_index = float(capsys.readouterr().out.strip())
+        main(["score", "--script", script_path, "--corpus-dir", corpus_dir])
+        without_index = float(capsys.readouterr().out.strip())
+        assert with_index == without_index
+
+    def test_score_requires_a_corpus_source(self, script_path):
+        with pytest.raises(SystemExit, match="corpus-dir or --index"):
+            main(["score", "--script", script_path])
+
+
 class TestNotebookCorpus:
     def test_corpus_dir_accepts_notebooks(self, tmp_path, diabetes_corpus, alex_script, capsys):
         import json
