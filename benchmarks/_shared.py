@@ -95,3 +95,26 @@ def publish(name: str, content: str) -> None:
     with open(path, "w") as handle:
         handle.write(content + "\n")
     print(f"\n{content}\n[written to {path}]")
+
+
+def effective_cores() -> int:
+    """CPU cores actually available to this process (not the machine total).
+
+    ``sched_getaffinity`` respects cgroup/taskset restrictions — the number
+    that decides whether a parallel speedup is even achievable.  Every
+    BENCH_*.json records this so a parallel number measured on an
+    oversubscribed box (e.g. the seed's 0.64x "regression" measured with 2
+    workers on 1 core) can never masquerade as an engine property.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def bench_environment() -> Dict[str, int]:
+    """The standard environment block every BENCH_*.json embeds."""
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "effective_cores": effective_cores(),
+    }

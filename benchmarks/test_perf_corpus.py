@@ -28,7 +28,7 @@ from repro.corpus import CorpusIndex
 from repro.harness import render_table
 from repro.lang import CorpusVocabulary
 
-from _shared import publish
+from _shared import bench_environment, publish
 
 pytestmark = pytest.mark.perf
 
@@ -126,7 +126,7 @@ def test_perf_corpus_warm_refresh():
             "index_build_ms": round(index_build_s * 1000, 3),
             "reparsed_per_round": reparse_counts,
             "corpus_refresh_speedup": round(speedup, 2),
-            "cpu_count": os.cpu_count(),
+            "environment": bench_environment(),
         }
         with open(BENCH_JSON, "w") as handle:
             json.dump(report, handle, indent=2, sort_keys=True)

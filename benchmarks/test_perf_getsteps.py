@@ -26,7 +26,7 @@ from repro.core import BeamSearch, LSConfig, RelativeEntropyScorer
 from repro.harness import render_table
 from repro.lang import CorpusVocabulary, parse_script
 
-from _shared import publish
+from _shared import bench_environment, publish
 
 pytestmark = pytest.mark.perf
 
@@ -125,7 +125,7 @@ def test_perf_getsteps_incremental_scoring():
         "search_wall_speedup": round(wall_speedup, 2),
         "delta_scores": on_stats.n_delta_scores,
         "full_recount_fallbacks": on_stats.n_full_recounts,
-        "cpu_count": os.cpu_count(),
+        "environment": bench_environment(),
     }
     with open(BENCH_JSON, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)

@@ -27,7 +27,7 @@ from repro.core import IntentStats, TableJaccardIntent
 from repro.harness import render_table
 from repro.minipandas import NA, DataFrame
 
-from _shared import publish
+from _shared import bench_environment, publish
 
 pytestmark = pytest.mark.perf
 
@@ -137,7 +137,7 @@ def test_perf_intent_prepared_wave():
             "column_set_reuse": cells.column_set_reuse,
             "short_circuits": cells.short_circuits,
         },
-        "cpu_count": os.cpu_count(),
+        "environment": bench_environment(),
     }
     with open(BENCH_JSON, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)

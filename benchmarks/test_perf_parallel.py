@@ -1,0 +1,241 @@
+"""Parallel-engine throughput: the persistent sharded worker engine vs
+the serial check loop, on the BENCH_getsteps workload shape executed for
+real (waves of beam candidates sharing a growing prefix over a CSV).
+
+This is the benchmark that retires the seed's recorded ``parallel_x2:
+0.64`` — a number measured with 2 workers on a 1-core box and published
+without the core count that explained it.  Here every figure lands in
+``BENCH_parallel.json`` next to ``environment.effective_cores``, and the
+speedup assertions are **skipped with an explanatory marker** whenever
+workers would be oversubscribed (more workers than effective cores):
+an oversubscribed "speedup" measures the scheduler, not the engine.
+
+What always runs, on any host, is the bit-identity audit: every wave's
+sharded verdicts must equal the serial loop's, in order, for every
+worker count measured — the ``verify_parallel`` contract.
+
+Acceptance bar (enforced only when ``effective_cores >= 2``): the engine
+at 2 workers beats the serial loop by >= 1.5x, and at ``min(4, cores)``
+workers reaches >= 0.8x per core.
+"""
+
+import json
+import os
+import random
+import statistics
+import time
+
+import numpy as np
+import pytest
+
+import repro.minipandas as mp
+from repro.harness import render_table
+from repro.sandbox import check_executes_batch, kill_worker_pool
+
+from _shared import bench_environment, effective_cores, publish
+
+pytestmark = pytest.mark.perf
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_JSON = os.path.join(REPO_ROOT, "BENCH_parallel.json")
+
+ROUNDS = 3
+WAVES = 4
+WAVE_SIZE = 10
+SAMPLE_ROWS = 200
+CSV_ROWS = 4000
+SPEEDUP_X2_FLOOR = 1.5
+PER_CORE_FLOOR = 0.8
+
+#: The BENCH_getsteps step shapes, executed for real against the CSV.
+STEP_POOL = [
+    "df = df.fillna(df.mean())",
+    "df = df.fillna(df.median())",
+    "df = df.dropna()",
+    "df = df[df['B'] < 150]",
+    "df = pd.get_dummies(df)",
+    "df['E'] = df['A'] * 2",
+    "df = df.sort_values('B')",
+    "df = df.reset_index(drop=True)",
+    "df = df.drop_duplicates()",
+    "df['F'] = df['D'] - 1",
+    "df = df.rename(columns={'A': 'a'})",
+    "df = df.drop('NoSuchColumn', axis=1)",  # failing candidates are data too
+]
+
+BASE = "import pandas as pd\ndf = pd.read_csv('bench.csv')"
+
+
+@pytest.fixture(scope="module")
+def bench_dir(tmp_path_factory):
+    root = tmp_path_factory.mktemp("parallel-bench")
+    rng = np.random.default_rng(23)
+    frame = mp.DataFrame(
+        {
+            "A": rng.integers(0, 12, CSV_ROWS).tolist(),
+            "B": rng.normal(120, 30, CSV_ROWS).round(1).tolist(),
+            "C": [int(v) if v > 0 else None for v in rng.integers(-3, 80, CSV_ROWS)],
+            "D": rng.normal(0, 1, CSV_ROWS).round(3).tolist(),
+        }
+    )
+    frame.to_csv(str(root / "bench.csv"))
+    return str(root)
+
+
+def _beam_waves():
+    """WAVES waves of WAVE_SIZE candidates; each wave's prefix extends the
+    previous wave's winner, exactly the shape GetTopKBeams dispatches."""
+    rng = random.Random(13)
+    waves = []
+    prefix = BASE
+    for _ in range(WAVES):
+        suffixes = rng.sample(STEP_POOL, WAVE_SIZE) if WAVE_SIZE <= len(
+            STEP_POOL
+        ) else [rng.choice(STEP_POOL) for _ in range(WAVE_SIZE)]
+        waves.append((prefix, [f"{prefix}\n{s}" for s in suffixes]))
+        prefix = f"{prefix}\n{rng.choice(suffixes[:3])}"
+    return waves
+
+
+def _timed_pass(waves, bench_dir, workers):
+    """One full pass over all waves; returns (total_s, all_verdicts)."""
+    verdicts = []
+    started = time.perf_counter()
+    for prefix, sources in waves:
+        verdicts.append(
+            check_executes_batch(
+                sources,
+                data_dir=bench_dir,
+                sample_rows=SAMPLE_ROWS,
+                workers=workers,
+                affinity_base=prefix,
+            )
+        )
+    return time.perf_counter() - started, verdicts
+
+
+def test_perf_parallel_engine(bench_dir):
+    waves = _beam_waves()
+    cores = effective_cores()
+    worker_counts = sorted({2, min(4, max(2, cores))})
+
+    # serial baseline (the always-correct loop the engine must beat)
+    serial_times = []
+    for _ in range(ROUNDS):
+        elapsed, serial_verdicts = _timed_pass(waves, bench_dir, workers=1)
+        serial_times.append(elapsed)
+    serial_s = statistics.median(serial_times)
+
+    results = {}
+    for workers in worker_counts:
+        kill_worker_pool()
+        # warmup pass: spawn shards, ship bases, fill resident caches —
+        # steady-state is what the search actually sees
+        _, warm_verdicts = _timed_pass(waves, bench_dir, workers=workers)
+        times = []
+        for _ in range(ROUNDS):
+            elapsed, verdicts = _timed_pass(waves, bench_dir, workers=workers)
+            times.append(elapsed)
+            # the verify_parallel contract, asserted on every pass: the
+            # engine's verdicts are bit-identical to the serial loop's
+            assert verdicts == serial_verdicts, f"workers={workers}"
+        assert warm_verdicts == serial_verdicts
+        parallel_s = statistics.median(times)
+        results[workers] = {
+            "median_pass_ms": round(parallel_s * 1000, 3),
+            "speedup_vs_serial": round(serial_s / parallel_s, 2),
+        }
+    kill_worker_pool()
+
+    oversubscribed = cores < 2
+    assertion = {
+        "floor_at_2_workers": SPEEDUP_X2_FLOOR,
+        "per_core_floor": PER_CORE_FLOOR,
+        "checked": not oversubscribed,
+    }
+    if oversubscribed:
+        assertion["skipped_reason"] = (
+            f"only {cores} effective core(s): every measured worker count is "
+            "oversubscribed, so wall-clock speedup measures the OS scheduler, "
+            "not the engine; bit-identity was still asserted on every pass"
+        )
+
+    report = {
+        "workload": {
+            "waves": WAVES,
+            "wave_size": WAVE_SIZE,
+            "rounds": ROUNDS,
+            "sample_rows": SAMPLE_ROWS,
+            "csv_rows": CSV_ROWS,
+            "shape": "BENCH_getsteps steps executed over beam-shaped waves",
+        },
+        "serial_median_pass_ms": round(serial_s * 1000, 3),
+        "parallel": {str(w): r for w, r in results.items()},
+        "verify_parallel_audit": "pass",
+        "speedup_assertion": assertion,
+        "environment": bench_environment(),
+    }
+    with open(BENCH_JSON, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    rows = [["serial loop", f"{serial_s * 1000:.1f}", "1.0x"]]
+    for workers, entry in sorted(results.items()):
+        rows.append(
+            [
+                f"shard engine ({workers} workers)",
+                f"{entry['median_pass_ms']:.1f}",
+                f"{entry['speedup_vs_serial']:.2f}x",
+            ]
+        )
+    note = (
+        "[assertions skipped: " + assertion["skipped_reason"] + "]"
+        if oversubscribed
+        else f"[floors enforced: {SPEEDUP_X2_FLOOR}x @2w, "
+        f"{PER_CORE_FLOOR}x/core @{max(worker_counts)}w]"
+    )
+    publish(
+        "perf_parallel_engine",
+        render_table(
+            ["engine", "median pass (ms)", "speedup vs serial"],
+            rows,
+            title=(
+                f"Sharded engine on {WAVES} beam waves x {WAVE_SIZE} candidates "
+                f"({cores} effective core(s))"
+            ),
+        )
+        + f"\n{note}\n[recorded in {BENCH_JSON}]",
+    )
+
+    if not oversubscribed:
+        assert results[2]["speedup_vs_serial"] >= SPEEDUP_X2_FLOOR, report
+        top = max(worker_counts)
+        usable = min(top, cores)
+        assert (
+            results[top]["speedup_vs_serial"] >= PER_CORE_FLOOR * usable
+        ), report
+
+
+def test_perf_parallel_resident_state_amortizes(bench_dir):
+    """The engine's perf story is resident state: a repeated pass over the
+    same waves must ship (almost) nothing — refs and deltas, not texts."""
+    from repro.sandbox import BatchReport
+
+    waves = _beam_waves()
+    kill_worker_pool()
+    first = BatchReport()
+    second = BatchReport()
+    for report in (first, second):
+        for prefix, sources in waves:
+            check_executes_batch(
+                sources,
+                data_dir=bench_dir,
+                sample_rows=SAMPLE_ROWS,
+                workers=2,
+                affinity_base=prefix,
+                report=report,
+            )
+    kill_worker_pool()
+    assert first.bytes_shipped > 0
+    assert second.bytes_shipped == 0  # everything resident: pure refs
+    assert first.shard_hits > 0

@@ -72,6 +72,27 @@ class LRUCache:
     def clear(self) -> None:
         self._entries.clear()
 
+    def resize(self, capacity: int) -> None:
+        """Change capacity in place, evicting LRU entries if shrinking.
+
+        Shared eviction discipline for caches whose bound is configurable
+        after construction (e.g. the worker-resident caches sized by
+        ``LSConfig``): both sides of a parent/worker mirror call this with
+        the same capacity before the same operation sequence, so their
+        eviction decisions stay in lockstep.
+        """
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        if capacity == 0:
+            if self._entries:
+                self.evictions += len(self._entries)
+                self._entries.clear()
+            return
+        while len(self._entries) > capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
     # ------------------------------------------------------------- accounting
     @property
     def hit_rate(self) -> float:

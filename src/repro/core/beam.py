@@ -121,6 +121,9 @@ class SearchStats:
     n_exec_timeouts: int = 0
     n_worker_respawns: int = 0
     n_degraded_waves: int = 0
+    n_shard_hits: int = 0
+    n_shard_migrations: int = 0
+    bytes_shipped: int = 0
     max_beam_width: int = 0
     prefix_cache_hits: int = 0
     prefix_cache_misses: int = 0
@@ -167,6 +170,9 @@ class SearchStats:
             "ExecTimeouts": float(self.n_exec_timeouts),
             "WorkerRespawns": float(self.n_worker_respawns),
             "DegradedWaves": float(self.n_degraded_waves),
+            "ShardHits": float(self.n_shard_hits),
+            "ShardMigrations": float(self.n_shard_migrations),
+            "BytesShipped": float(self.bytes_shipped),
             "PrefixCacheHitRate": self.prefix_cache_hit_rate,
             "PrefixMeanResumeDepth": self.prefix_mean_resume_depth,
             "ExecCacheSize": float(self.exec_cache_size),
@@ -525,6 +531,11 @@ class BeamSearch:
             timeout_s=self.config.exec_timeout_s,
             respawn_limit=self.config.pool_respawn_limit,
             report=report,
+            statement_timeout_s=self.config.statement_timeout_s,
+            snapshot_budget=self.config.snapshot_budget,
+            shard_affinity=self.config.shard_affinity,
+            source_cache_limit=self.config.worker_source_cache_limit,
+            affinity_base=candidate.source(),
         )
         self.stats.check_executes_s += time.perf_counter() - wall
         self.stats.check_executes_cpu_s += time.process_time() - cpu
@@ -534,6 +545,26 @@ class BeamSearch:
         self._direct_timeouts += report.timeouts
         self.stats.n_worker_respawns += report.respawns
         self.stats.n_degraded_waves += report.degraded
+        self.stats.n_shard_hits += report.shard_hits
+        self.stats.n_shard_migrations += report.shard_migrations
+        self.stats.bytes_shipped += report.bytes_shipped
+        if self.config.verify_parallel:
+            # audit the engine's bit-identity claim: the serial loop must
+            # return exactly these verdicts in exactly this order
+            serial = check_executes_batch(
+                wave,
+                data_dir=self.data_dir,
+                sample_rows=self.config.sample_rows,
+                workers=1,
+                timeout_s=self.config.exec_timeout_s,
+            )
+            if serial != verdicts:
+                from ..sandbox.shards import ParallelMismatchError
+
+                raise ParallelMismatchError(
+                    f"verify_parallel: sharded verdicts {verdicts!r} != "
+                    f"serial verdicts {serial!r}"
+                )
         for source, ok in zip(wave, verdicts):
             self._exec_cache[source] = ok
 

@@ -105,9 +105,37 @@ class LSConfig:
         incremental execution path; tighter than ``exec_timeout_s`` when
         a single statement is the pathology.  None disables it.
     pool_respawn_limit:
-        How many times one batched check may hard-kill and respawn the
-        worker pool (hung or broken workers) before degrading to the
-        serial loop.  0 degrades on the first pool fault.
+        How many times one batched check may hard-kill and respawn a
+        shard worker (hung or broken) before degrading to the serial
+        loop.  0 degrades on the first engine fault.
+    verify_parallel:
+        Debug mode: re-run the serial VerifyAllConstraints walk alongside
+        every speculative parallel verification and raise
+        :class:`repro.sandbox.shards.ParallelMismatchError` if the sharded
+        engine's winner diverges (and likewise audit batched exec-check
+        verdicts against the serial loop where exercised by tests).  Off
+        by default — it exists to audit the shard engine's bit-identical
+        claim, not for production.
+    shard_affinity:
+        Route each candidate to the shard addressed by the hash of its
+        prefix fingerprint (longest leading-line run shared with the
+        wave's base script), so a shard's resident incremental executor
+        sees the prefixes it has already snapshotted across waves.
+        Placement is load-capped and deterministic either way; off sends
+        every task to the least-loaded shard.  Affinity only changes
+        which worker runs a task — never the result.
+    worker_output_cache_limit:
+        LRU bound on each shard worker's resident original-output table
+        cache (distinct run fingerprints retained per worker).
+    worker_intent_cache_limit:
+        LRU bound on each shard worker's resident prepared-intent cache
+        (distinct ``(run fingerprint, intent identity)`` pairs retained
+        per worker).
+    worker_source_cache_limit:
+        Capacity of each shard worker's content-addressed source store
+        (and of the parent's per-shard mirror of it).  Larger values let
+        more candidates ship as ``ref``/O(delta) splices instead of full
+        texts; the store holds script texts, so memory cost is modest.
     corpus_cache:
         Route corpus construction through the process-wide
         content-addressed warm cache (:mod:`repro.corpus.cache`): each
@@ -145,6 +173,11 @@ class LSConfig:
     exec_timeout_s: Optional[float] = None
     statement_timeout_s: Optional[float] = None
     pool_respawn_limit: int = 1
+    verify_parallel: bool = False
+    shard_affinity: bool = True
+    worker_output_cache_limit: int = 4
+    worker_intent_cache_limit: int = 4
+    worker_source_cache_limit: int = 256
     corpus_cache: bool = True
     verify_index: bool = False
 
@@ -181,6 +214,21 @@ class LSConfig:
         if self.pool_respawn_limit < 0:
             raise ValueError(
                 f"pool_respawn_limit must be >= 0, got {self.pool_respawn_limit}"
+            )
+        if self.worker_output_cache_limit < 1:
+            raise ValueError(
+                "worker_output_cache_limit must be >= 1, "
+                f"got {self.worker_output_cache_limit}"
+            )
+        if self.worker_intent_cache_limit < 1:
+            raise ValueError(
+                "worker_intent_cache_limit must be >= 1, "
+                f"got {self.worker_intent_cache_limit}"
+            )
+        if self.worker_source_cache_limit < 1:
+            raise ValueError(
+                "worker_source_cache_limit must be >= 1, "
+                f"got {self.worker_source_cache_limit}"
             )
 
     @property

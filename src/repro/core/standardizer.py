@@ -9,7 +9,7 @@ user-intent constraints, and return the most standard surviving script.
 from __future__ import annotations
 
 import time
-from collections import Counter, OrderedDict
+from collections import Counter
 from dataclasses import dataclass, field
 from hashlib import sha1
 from typing import List, Optional, Sequence, Tuple
@@ -24,11 +24,7 @@ from ..corpus import (
 from ..lang import CorpusVocabulary, ScriptError, lemmatize, parse_script
 from ..minipandas import DataFrame
 from ..sandbox import IncrementalExecutor, run_script
-from ..sandbox.runner import (
-    FuturesTimeoutError,
-    get_worker_pool,
-    kill_worker_pool,
-)
+from ..sandbox.runner import BatchReport, get_worker_pool
 from .beam import BeamSearch, Candidate, SearchStats
 from .config import LSConfig
 from .entropy import RelativeEntropyScorer, percent_improvement
@@ -38,21 +34,38 @@ from .transformations import Transformation
 __all__ = ["LucidScript", "StandardizationResult", "StandardizationError"]
 
 
+#: Default bounds for the worker-resident caches below; overridable per
+#: run via ``LSConfig.worker_output_cache_limit`` / ``worker_intent_cache_limit``
+#: (threaded into tasks, applied by :func:`_sized_cache`).
+_WORKER_OUTPUT_CACHE_LIMIT = 4
+_WORKER_INTENT_CACHE_LIMIT = 4
+
 #: Worker-resident original-output table, keyed by fingerprint.  The
 #: original script's output is identical for every task of a run, so it is
 #: never pickled into tasks; each worker materializes it at most once per
-#: fingerprint (LRU-bounded — pool workers outlive searches).
-_WORKER_OUTPUT_CACHE: "OrderedDict[str, DataFrame]" = OrderedDict()
-_WORKER_OUTPUT_CACHE_LIMIT = 4
+#: fingerprint (LRU-bounded — shard workers outlive searches).
+_WORKER_OUTPUT_CACHE: LRUCache = LRUCache(_WORKER_OUTPUT_CACHE_LIMIT)
 
 #: Worker-resident prepared intent state, keyed by (run fingerprint,
 #: intent identity).  The prepared original side — per-mode cell sets,
 #: column fingerprints, the original's downstream accuracy — is identical
-#: for every task of a run, so each pool worker freezes it at most once
+#: for every task of a run, so each shard worker freezes it at most once
 #: per key instead of rebuilding it per task (LRU-bounded, like the
 #: output cache above).
-_WORKER_INTENT_CACHE: "OrderedDict[Tuple[str, Tuple], PreparedIntent]" = OrderedDict()
-_WORKER_INTENT_CACHE_LIMIT = 4
+_WORKER_INTENT_CACHE: LRUCache = LRUCache(_WORKER_INTENT_CACHE_LIMIT)
+
+
+def _sized_cache(cache: LRUCache, limit: Optional[int]) -> LRUCache:
+    """*cache* resized to the configured *limit* (None keeps it as-is).
+
+    The one shared eviction discipline for the worker-resident caches:
+    :class:`~repro._lru.LRUCache` owns both the insert-time eviction and
+    the shrink-on-reconfigure path, replacing the two hand-rolled
+    ``popitem`` loops these caches used to carry.
+    """
+    if limit is not None and limit != cache.capacity:
+        cache.resize(limit)
+    return cache
 
 
 def _original_output_fingerprint(
@@ -74,8 +87,9 @@ def _worker_original_output(
     data_dir: Optional[str],
     sample_rows: Optional[int],
     timeout_s: Optional[float],
+    limit: Optional[int] = None,
 ) -> Optional[DataFrame]:
-    """The original output inside a pool worker — cached, else recomputed.
+    """The original output inside a shard worker — cached, else recomputed.
 
     ``ref`` is ``(fingerprint, original_source)``.  The sandbox is
     deterministic for fixed ``(source, data_dir, sample_rows)``, so a
@@ -83,9 +97,9 @@ def _worker_original_output(
     two strings instead of a pickled DataFrame per candidate.
     """
     fingerprint, original_source = ref
-    cached = _WORKER_OUTPUT_CACHE.get(fingerprint)
+    cache = _sized_cache(_WORKER_OUTPUT_CACHE, limit)
+    cached = cache.get(fingerprint)
     if cached is not None:
-        _WORKER_OUTPUT_CACHE.move_to_end(fingerprint)
         return cached
     result = run_script(
         original_source,
@@ -95,9 +109,7 @@ def _worker_original_output(
     )
     if not result.ok or result.output is None:
         return None
-    _WORKER_OUTPUT_CACHE[fingerprint] = result.output
-    while len(_WORKER_OUTPUT_CACHE) > _WORKER_OUTPUT_CACHE_LIMIT:
-        _WORKER_OUTPUT_CACHE.popitem(last=False)
+    cache[fingerprint] = result.output
     return result.output
 
 
@@ -106,6 +118,7 @@ def _worker_prepared_intent(
     intent: IntentMeasure,
     original_output: DataFrame,
     verify: bool,
+    limit: Optional[int] = None,
 ) -> PreparedIntent:
     """This worker's prepared intent state — cached, else frozen once.
 
@@ -115,16 +128,14 @@ def _worker_prepared_intent(
     the worker — only verdicts cross back to the parent.
     """
     key = (fingerprint, intent.cache_key())
-    prepared = _WORKER_INTENT_CACHE.get(key)
+    cache = _sized_cache(_WORKER_INTENT_CACHE, limit)
+    prepared = cache.get(key)
     if prepared is not None:
-        _WORKER_INTENT_CACHE.move_to_end(key)
         prepared.counters.prepared_hits += 1
         prepared.verify = verify
         return prepared
     prepared = intent.prepare(original_output, verify=verify)
-    _WORKER_INTENT_CACHE[key] = prepared
-    while len(_WORKER_INTENT_CACHE) > _WORKER_INTENT_CACHE_LIMIT:
-        _WORKER_INTENT_CACHE.popitem(last=False)
+    cache[key] = prepared
     return prepared
 
 
@@ -174,6 +185,62 @@ def _verify_candidate_task(args) -> bool:
     else:
         _, ok = intent.check(original_output, result.output)
     return ok
+
+
+def _shard_verify_task(payload, resident) -> bool:
+    """Shard-engine constraint check for one candidate (see
+    :mod:`repro.sandbox.shards`; registered there as kind ``"verify"``).
+
+    Unlike :func:`_verify_candidate_task` (the stateless-pool ancestor,
+    kept as the task's serial-equivalent and for direct testing), this
+    runs the candidate on the shard's *resident*
+    :class:`~repro.sandbox.incremental.IncrementalExecutor` — shard
+    affinity routes candidates with a shared prefix here precisely so this
+    executor's snapshot LRU hits across waves — and resolves the script
+    texts from the worker's content-addressed source store instead of the
+    task payload.  The original-output and prepared-intent caches are the
+    same worker-resident LRUs the old path used; they now live as long as
+    the shard process.  Only a verdict crosses back to the parent.
+    """
+    from ..sandbox import shards
+
+    source = shards.resolve_source(resident, payload["source_sha"])
+    executor = shards.resident_executor(
+        resident,
+        payload["data_dir"],
+        payload["sample_rows"],
+        payload.get("exec_timeout_s"),
+        payload.get("statement_timeout_s"),
+        payload.get("snapshot_budget", 64),
+    )
+    result = executor.run_script(source)
+    if not result.ok or result.output is None:
+        return False
+    intent = payload.get("intent")
+    if intent is None:
+        return True
+    original_source = shards.resolve_source(resident, payload["original_sha"])
+    original_output = _worker_original_output(
+        (payload["fingerprint"], original_source),
+        payload["data_dir"],
+        payload["sample_rows"],
+        payload.get("exec_timeout_s"),
+        payload.get("output_cache_limit"),
+    )
+    if original_output is None:
+        return False
+    if payload.get("incremental_intent"):
+        prepared = _worker_prepared_intent(
+            payload["fingerprint"],
+            intent,
+            original_output,
+            payload.get("verify_intent", False),
+            payload.get("intent_cache_limit"),
+        )
+        _, ok = prepared.check(result.output)
+    else:
+        _, ok = intent.check(original_output, result.output)
+    return bool(ok)
 
 
 class StandardizationError(ScriptError):
@@ -479,27 +546,59 @@ class LucidScript:
                     candidates, original_source, search
                 )
                 if speculative is not None:
+                    if self.config.verify_parallel:
+                        serial = self._serial_walk(
+                            candidates, original_source, original_output, prepared
+                        )
+                        if serial is None or serial.source() != speculative.source():
+                            from ..sandbox.shards import ParallelMismatchError
+
+                            raise ParallelMismatchError(
+                                "verify_parallel: sharded winner "
+                                f"{speculative.source()!r} != serial winner "
+                                f"{serial.source() if serial else None!r}"
+                            )
                     return speculative
-            for candidate in candidates:
-                source = candidate.source()
-                if source == original_source:
-                    return candidate
-                output = self._run(source)
-                if output is None:
-                    continue
-                if self.intent is not None:
-                    if prepared is not None:
-                        _, ok = prepared.check(output)
-                    else:
-                        _, ok = self.intent.check(original_output, output)
-                    if not ok:
-                        continue
-                return candidate
-            raise StandardizationError(
-                "no candidate (not even the original) survived verification"
+            winner = self._serial_walk(
+                candidates, original_source, original_output, prepared
             )
+            if winner is None:
+                raise StandardizationError(
+                    "no candidate (not even the original) survived verification"
+                )
+            return winner
         finally:
             stats.verify_constraints_s += time.perf_counter() - start
+
+    def _serial_walk(
+        self,
+        candidates: List[Candidate],
+        original_source: str,
+        original_output: DataFrame,
+        prepared: Optional[PreparedIntent],
+    ) -> Optional[Candidate]:
+        """The always-correct serial VerifyAllConstraints walk.
+
+        Returns the first candidate (in score order) that satisfies every
+        constraint, or None if nothing survives.  Both the parallel path's
+        fallback and the ``verify_parallel`` audit reduce to this.
+        """
+        for candidate in candidates:
+            source = candidate.source()
+            if source == original_source:
+                return candidate
+            output = self._run(source)
+            if output is None:
+                continue
+            if self.intent is not None:
+                if prepared is not None:
+                    _, ok = prepared.check(output)
+                else:
+                    _, ok = self.intent.check(original_output, output)
+                if not ok:
+                    continue
+            return candidate
+        return None
 
     def _verify_parallel(
         self,
@@ -510,88 +609,112 @@ class LucidScript:
         """Wave-parallel VerifyAllConstraints; None means "fall back serial".
 
         Each wave batches the next ``2 × workers`` candidates (stopping at
-        the original script, which is trivially valid) onto the pool and
-        takes the first valid verdict in score order.  Tasks never carry
-        the original output table: each ships a ``(fingerprint,
-        original_source)`` reference that workers resolve against a
-        worker-resident cache (recomputing at most once per worker), so
-        per-candidate pickling cost is independent of the data size.  With an execution
-        budget set, a worker that does not answer in time is declared
-        hung: its candidate fails verification, the pool is hard-killed
-        and respawned, and the wave continues — until the respawn budget
-        runs out, at which point (as for any other pool failure) the
-        speculation is abandoned and the serial walk takes over.
+        the original script, which is trivially valid) onto the persistent
+        shard engine and takes the first valid verdict in score order.
+        Tasks are content-addressed end to end: the candidate ships as an
+        O(delta) line splice against the original (already resident on the
+        shard after the first wave), and the original output table never
+        crosses the process boundary at all — workers resolve a
+        ``(fingerprint, original_source)`` reference against their
+        resident caches, recomputing at most once per worker.  Shard
+        affinity keeps candidates sharing a prefix on the shard whose
+        resident incremental executor has that prefix snapshotted.  With
+        an execution budget set, a shard that does not answer in time is
+        declared hung: its candidate fails verification, the shard is
+        hard-killed and respawned, and the wave continues — until the
+        respawn budget runs out, at which point (as for any other engine
+        failure) the speculation is abandoned and the serial walk takes
+        over.
         """
-        workers = self.config.parallel_workers
+        from ..sandbox import shards
+
+        config = self.config
+        workers = config.parallel_workers
         wave_size = max(2, workers * 2)
-        timeout_s = self.config.exec_timeout_s
-        original_ref = (
+        timeout_s = config.exec_timeout_s
+        fingerprint = (
             None
             if self.intent is None
-            else (
-                _original_output_fingerprint(
-                    original_source, self.data_dir, self.config.sample_rows
-                ),
-                original_source,
+            else _original_output_fingerprint(
+                original_source, self.data_dir, config.sample_rows
             )
         )
+        original_sha = shards.sha1_text(original_source)
         parent_budget = timeout_s * 2 + 1.0 if timeout_s is not None else None
-        respawns = 0
+        respawn_budget = config.pool_respawn_limit
         position = 0
         try:
+            engine = get_worker_pool(workers)
+            engine.source_cache_limit = config.worker_source_cache_limit
             while position < len(candidates):
-                wave = []
+                wave: List[Candidate] = []
                 terminator = None
                 for candidate in candidates[position:position + wave_size]:
                     if candidate.source() == original_source:
                         terminator = candidate
                         break
                     wave.append(candidate)
-                tasks = [
-                    (
-                        c.source(),
-                        self.data_dir,
-                        self.config.sample_rows,
-                        self.intent,
-                        original_ref,
-                        timeout_s,
-                        self.config.incremental_intent,
-                        self.config.verify_intent,
+                tasks = []
+                for candidate in wave:
+                    source = candidate.source()
+                    sha = shards.sha1_text(source)
+                    tasks.append(
+                        shards.ShardTask(
+                            kind="verify",
+                            payload={
+                                "source_sha": sha,
+                                "original_sha": (
+                                    original_sha if self.intent is not None else None
+                                ),
+                                "fingerprint": fingerprint,
+                                "data_dir": self.data_dir,
+                                "sample_rows": config.sample_rows,
+                                "intent": self.intent,
+                                "exec_timeout_s": timeout_s,
+                                "statement_timeout_s": config.statement_timeout_s,
+                                "snapshot_budget": config.snapshot_budget,
+                                "incremental_intent": config.incremental_intent,
+                                "verify_intent": config.verify_intent,
+                                "output_cache_limit": config.worker_output_cache_limit,
+                                "intent_cache_limit": config.worker_intent_cache_limit,
+                            },
+                            sources=(
+                                (original_sha, original_source, None, None),
+                                (sha, source, original_sha, original_source),
+                            ),
+                            affinity=(
+                                shards.prefix_affinity(source, original_source)
+                                if config.shard_affinity
+                                else None
+                            ),
+                        )
                     )
-                    for c in wave
-                ]
-                verdicts: List[Optional[bool]] = [None] * len(wave)
-                pending = list(range(len(wave)))
-                while pending:
-                    pool = get_worker_pool(workers)
-                    futures = {
-                        i: pool.submit(_verify_candidate_task, tasks[i])
-                        for i in pending
-                    }
-                    wave_failed = False
-                    for i in pending:
-                        try:
-                            verdicts[i] = futures[i].result(timeout=parent_budget)
-                        except FuturesTimeoutError:
-                            # hung candidate: fails verification, pool dies
-                            verdicts[i] = False
-                            search._direct_timeouts += 1
-                            wave_failed = True
-                            break
-                    if wave_failed:
-                        for i in pending:
-                            if verdicts[i] is None and futures[i].done():
-                                try:
-                                    verdicts[i] = futures[i].result(timeout=0)
-                                except Exception:  # noqa: BLE001
-                                    continue
-                        kill_worker_pool()
-                        respawns += 1
-                        search.stats.n_worker_respawns += 1
-                        if respawns > self.config.pool_respawn_limit:
-                            search.stats.n_degraded_waves += 1
-                            return None  # degrade to the serial walk
-                    pending = [i for i in pending if verdicts[i] is None]
+                report = BatchReport()
+                outcomes, used = engine.run_batch(
+                    tasks,
+                    parent_budget_s=parent_budget,
+                    respawn_limit=respawn_budget,
+                    report=report,
+                )
+                respawn_budget -= used
+                search.stats.n_worker_respawns += report.respawns
+                search.stats.n_shard_hits += report.shard_hits
+                search.stats.n_shard_migrations += report.shard_migrations
+                search.stats.bytes_shipped += report.bytes_shipped
+                verdicts: List[bool] = []
+                degraded = False
+                for outcome in outcomes:
+                    if outcome is None or outcome[0] == "failed":
+                        degraded = True
+                        break
+                    if outcome[0] == "hung":
+                        search._direct_timeouts += 1
+                        verdicts.append(False)
+                    else:
+                        verdicts.append(bool(outcome[1]))
+                if degraded:
+                    search.stats.n_degraded_waves += 1
+                    return None  # degrade to the serial walk
                 for candidate, ok in zip(wave, verdicts):
                     if ok:
                         return candidate
@@ -601,6 +724,7 @@ class LucidScript:
         except StandardizationError:
             raise
         except Exception:  # noqa: BLE001 - degrade to the serial walk
+            search.stats.n_degraded_waves += 1
             return None
         return None
 

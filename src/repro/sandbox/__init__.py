@@ -14,9 +14,14 @@ search hot path:
 Every entry point takes an optional wall-clock budget (``timeout_s`` /
 ``exec_timeout_s``): a script that exceeds it fails with
 :class:`ExecTimeout` instead of hanging the search, and the batched path
-hard-kills and respawns hung pool workers (see :mod:`repro.sandbox.faults`
+hard-kills and respawns hung shard workers (see :mod:`repro.sandbox.faults`
 for the failure taxonomy the budgets are tested against).  Budgets are
 off by default — the unbudgeted path is bit-identical to earlier builds.
+
+The batched path runs on the persistent sharded worker engine
+(:mod:`repro.sandbox.shards`): long-lived workers with sticky resident
+state (incremental executors, content-addressed source stores) and
+deterministic, order-preserving result gathering.
 """
 
 from .incremental import IncrementalExecutor, IncrementalStats
@@ -30,6 +35,7 @@ from .runner import (
     kill_worker_pool,
     run_script,
 )
+from .shards import ParallelMismatchError, ShardEngine, ShardTask
 
 __all__ = [
     "BatchReport",
@@ -42,4 +48,7 @@ __all__ = [
     "run_script",
     "IncrementalExecutor",
     "IncrementalStats",
+    "ParallelMismatchError",
+    "ShardEngine",
+    "ShardTask",
 ]

@@ -9,10 +9,11 @@ to keep constraint checks fast on large D_IN).
 The sandbox is the oracle behind LucidScript's *execution constraint*: a
 candidate script is valid iff :func:`run_script` reports success.  Two
 higher-throughput entry points sit on top of the single-script path:
-:func:`check_executes_batch` fans a wave of candidate checks out over a
-persistent process pool (minipandas is pure Python, so threads would be
-GIL-bound), and :class:`repro.sandbox.incremental.IncrementalExecutor`
-resumes candidates from snapshots of shared statement prefixes.
+:func:`check_executes_batch` fans a wave of candidate checks out over the
+persistent shard engine (minipandas is pure Python, so threads would be
+GIL-bound; see :mod:`repro.sandbox.shards`), and
+:class:`repro.sandbox.incremental.IncrementalExecutor` resumes candidates
+from snapshots of shared statement prefixes.
 """
 
 from __future__ import annotations
@@ -23,7 +24,6 @@ import builtins
 import os
 import sys
 import threading
-from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -398,13 +398,8 @@ def check_executes(
 
 
 # --------------------------------------------------------------------------
-# Parallel batched checks
+# Parallel batched checks (persistent sharded worker engine)
 # --------------------------------------------------------------------------
-
-#: Lazily-created persistent worker pool, shared by every batch call in the
-#: process (spawning a pool per beam-search wave would dwarf the win).
-_POOL = None
-_POOL_WORKERS = 0
 
 #: Extra wall-clock grace the parent grants a worker beyond the script's own
 #: budget before declaring it hung: workers normally self-interrupt via the
@@ -415,19 +410,24 @@ _HUNG_WORKER_GRACE_S = 1.0
 
 @dataclass
 class BatchReport:
-    """Fault accounting for one :func:`check_executes_batch` call.
+    """Fault and shipping accounting for one :func:`check_executes_batch`
+    (or sharded verification) call.
 
     Callers (the beam search) fold these into ``SearchStats`` so a run's
-    breakdown shows how often budgets fired and the pool self-healed.
+    breakdown shows how often budgets fired, the engine self-healed, and
+    how well shard affinity and delta shipping worked.
     """
 
     timeouts: int = 0  #: scripts that blew their budget (worker- or parent-side)
-    respawns: int = 0  #: pool kill-and-respawn cycles (hung or broken workers)
+    respawns: int = 0  #: shard kill-and-respawn cycles (hung or broken workers)
     degraded: int = 0  #: batches that fell back to the serial loop
+    shard_hits: int = 0  #: tasks placed on their affinity-preferred shard
+    shard_migrations: int = 0  #: affinity overridden by load balancing
+    bytes_shipped: int = 0  #: source payload bytes actually sent to workers
 
 
 def _check_executes_task(args):
-    """Top-level (picklable) worker for :func:`check_executes_batch`.
+    """Top-level (picklable) serial-equivalent of the sharded exec check.
 
     Returns ``(verdict, timed_out)`` so the parent can account worker-side
     budget expiries separately from ordinary script failures.
@@ -440,50 +440,35 @@ def _check_executes_task(args):
 
 
 def get_worker_pool(workers: int):
-    """The process pool for batched constraint checks (created on demand).
+    """The persistent shard engine for batched checks (created on demand).
 
     Workers fork from the parent, so they inherit the parsed-CSV cache as
-    of pool creation; each worker then maintains its own cache copy.
+    of engine creation; each shard then grows its own resident state — an
+    incremental executor with prefix snapshots and a content-addressed
+    source store — that survives across waves (see
+    :mod:`repro.sandbox.shards`).  The name is historical: this used to
+    hand out a stateless ``ProcessPoolExecutor``.
     """
-    global _POOL, _POOL_WORKERS
-    from concurrent.futures import ProcessPoolExecutor
+    from . import shards
 
-    if _POOL is not None and _POOL_WORKERS != workers:
-        _POOL.shutdown(wait=False, cancel_futures=True)
-        _POOL = None
-    if _POOL is None:
-        _POOL = ProcessPoolExecutor(max_workers=workers)
-        _POOL_WORKERS = workers
-    return _POOL
-
-
-def _shutdown_pool() -> None:
-    global _POOL
-    if _POOL is not None:
-        _POOL.shutdown(wait=False, cancel_futures=True)
-        _POOL = None
+    return shards.get_shard_engine(workers)
 
 
 def kill_worker_pool() -> None:
-    """Hard-kill the worker pool (hung workers ignore graceful shutdown).
+    """Hard-kill the shard engine (hung workers ignore graceful shutdown).
 
-    ``shutdown(wait=False)`` alone leaves a worker spinning in
-    ``while True`` alive forever; SIGKILL-ing the processes is the only
-    reliable way to reclaim the slot.  The next :func:`get_worker_pool`
-    call respawns a fresh pool.
+    A worker spinning in ``while True`` stays alive through any graceful
+    shutdown; SIGKILL-ing the shard processes is the only reliable way to
+    reclaim the slot.  The next :func:`get_worker_pool` call respawns a
+    fresh engine.  Registered with ``atexit`` so persistent workers can
+    never outlive the parent interpreter.
     """
-    global _POOL
-    if _POOL is None:
-        return
-    processes = list(getattr(_POOL, "_processes", {}).values())
-    _POOL.shutdown(wait=False, cancel_futures=True)
-    for process in processes:
-        if process.is_alive():
-            process.kill()
-    _POOL = None
+    from . import shards
+
+    shards.kill_shard_engine()
 
 
-atexit.register(_shutdown_pool)
+atexit.register(kill_worker_pool)
 
 
 def _serial_checks(
@@ -512,101 +497,120 @@ def check_executes_batch(
     timeout_s: Optional[float] = None,
     respawn_limit: int = 1,
     report: Optional[BatchReport] = None,
+    statement_timeout_s: Optional[float] = None,
+    snapshot_budget: int = 64,
+    shard_affinity: bool = True,
+    source_cache_limit: Optional[int] = None,
+    affinity_base: Optional[str] = None,
 ) -> List[bool]:
     """CheckIfExecutes() over a wave of candidate scripts.
 
     With ``workers <= 1`` this is exactly a serial loop over
     :func:`run_script` (deterministic, no processes involved).  With more
-    workers the checks fan out over a persistent process pool; results
-    come back in input order, so callers that admit candidates in rank
-    order stay deterministic regardless of worker count.
+    workers the checks fan out over the persistent shard engine
+    (:mod:`repro.sandbox.shards`): each candidate is content-addressed and
+    shipped as an O(delta) line splice against *affinity_base* (the wave's
+    common ancestor — defaults to the first source), lands on the shard
+    whose resident executor most likely holds its prefix snapshot (when
+    *shard_affinity* is on), and executes on that shard's long-lived
+    :class:`~repro.sandbox.incremental.IncrementalExecutor` configured with
+    *statement_timeout_s* / *snapshot_budget*.  Verdicts come back in
+    input order, bit-identical to the serial loop for any worker count.
 
-    Fault tolerance (all opt-in via *timeout_s* / *respawn_limit*):
+    Fault tolerance (hang handling opt-in via *timeout_s*):
 
     * each worker runs its script under the in-process watchdog, so an
       unbounded pure-Python loop fails its own check without touching
-      the pool;
-    * a worker that does not answer within ``2·timeout_s`` plus a grace
+      the engine;
+    * a shard that does not answer within ``2·timeout_s`` plus a grace
       period (stuck in a C call, or defeating the watchdog) is declared
-      hung: its script is marked failed, the pool is hard-killed and
-      respawned, and the remaining unanswered checks are re-run — one
-      bad candidate never poisons the wave;
-    * pool-level failures (broken worker, unpicklable payload) are
-      retried on a fresh pool while respawn budget remains;
+      hung: its running script is marked failed, the shard is hard-killed
+      and respawned with its remaining tasks re-dispatched — one bad
+      candidate never poisons the wave;
+    * engine-level failures (broken worker, unpicklable payload) retry
+      while respawn budget remains;
     * once *respawn_limit* respawns are spent, the batch degrades to the
       always-correct serial loop (still budget-guarded) for whatever is
       left unanswered.
 
     *report*, when provided, accumulates timeout/respawn/degradation
-    counts for the caller's stats.
+    counts plus shard-affinity and bytes-shipped accounting.
     """
     sources = list(sources)
     if workers <= 1 or len(sources) < 2:
         return _serial_checks(sources, data_dir, sample_rows, timeout_s, report)
 
-    tasks = [(s, data_dir, sample_rows, timeout_s) for s in sources]
-    results: List[Optional[bool]] = [None] * len(sources)
+    from . import shards
+
+    base = affinity_base if affinity_base is not None else sources[0]
+    base_sha = shards.sha1_text(base)
+    tasks = []
+    for source in sources:
+        sha = shards.sha1_text(source)
+        if sha == base_sha:
+            ship = ((sha, source, None, None),)
+        else:
+            ship = ((base_sha, base, None, None), (sha, source, base_sha, base))
+        tasks.append(
+            shards.ShardTask(
+                kind="exec_check",
+                payload={
+                    "source_sha": sha,
+                    "data_dir": data_dir,
+                    "sample_rows": sample_rows,
+                    "exec_timeout_s": timeout_s,
+                    "statement_timeout_s": statement_timeout_s,
+                    "snapshot_budget": snapshot_budget,
+                },
+                sources=ship,
+                affinity=(
+                    shards.prefix_affinity(source, base) if shard_affinity else None
+                ),
+            )
+        )
+
     # the parent waits out the worker's own budget (plus slack for queueing
-    # behind other tasks on the same worker) before calling it hung
+    # behind other tasks on the same shard) before calling it hung
     parent_budget = (
         timeout_s * 2 + _HUNG_WORKER_GRACE_S if timeout_s is not None else None
     )
-    pending = list(range(len(sources)))
-    respawns = 0
-    while pending:
-        try:
-            pool = get_worker_pool(workers)
-            futures = {i: pool.submit(_check_executes_task, tasks[i]) for i in pending}
-        except Exception:  # noqa: BLE001 - broken pool at spawn/submit time
-            kill_worker_pool()
-            respawns += 1
-            if report is not None:
-                report.respawns += 1
-            if respawns > respawn_limit:
-                break
-            continue
-        answered: List[int] = []
-        wave_failed = False
-        for i in pending:
-            try:
-                verdict, worker_timed_out = futures[i].result(timeout=parent_budget)
-            except FuturesTimeoutError:
-                # hung worker: the script is charged with the timeout, and
-                # the pool (which still holds the spinning process) dies
-                results[i] = False
-                if report is not None:
-                    report.timeouts += 1
-                answered.append(i)
-                wave_failed = True
-                break
-            except Exception:  # noqa: BLE001 - broken pool / task crash
-                wave_failed = True
-                break
-            results[i] = verdict
-            if worker_timed_out and report is not None:
-                report.timeouts += 1
-            answered.append(i)
-        # harvest whatever else already finished before tearing down
-        if wave_failed:
-            for i in pending:
-                if results[i] is None and futures[i].done():
-                    try:
-                        verdict, worker_timed_out = futures[i].result(timeout=0)
-                    except Exception:  # noqa: BLE001 - crashed future
-                        continue
-                    results[i] = verdict
-                    if worker_timed_out and report is not None:
-                        report.timeouts += 1
-                    answered.append(i)
-        pending = [i for i in pending if results[i] is None]
-        if not wave_failed and not pending:
-            return [bool(v) for v in results]
+    outcomes: List[Optional[tuple]] = [None] * len(sources)
+    try:
+        engine = get_worker_pool(workers)
+    except Exception:  # noqa: BLE001 - broken engine at spawn time
         kill_worker_pool()
-        respawns += 1
         if report is not None:
             report.respawns += 1
-        if respawns > respawn_limit:
-            break
+    else:
+        if source_cache_limit is not None:
+            engine.source_cache_limit = source_cache_limit
+        try:
+            outcomes, _ = engine.run_batch(
+                tasks,
+                parent_budget_s=parent_budget,
+                respawn_limit=respawn_limit,
+                report=report,
+            )
+        except Exception:  # noqa: BLE001 - engine failure mid-batch
+            kill_worker_pool()
+            if report is not None:
+                report.respawns += 1
+            outcomes = [None] * len(sources)
+
+    results: List[Optional[bool]] = [None] * len(sources)
+    pending: List[int] = []
+    for i, outcome in enumerate(outcomes):
+        if outcome is None or outcome[0] == "failed":
+            pending.append(i)
+        elif outcome[0] == "ok":
+            verdict, worker_timed_out = outcome[1]
+            results[i] = bool(verdict)
+            if worker_timed_out and report is not None:
+                report.timeouts += 1
+        else:  # ("hung",): the parent killed the shard running this script
+            results[i] = False
+            if report is not None:
+                report.timeouts += 1
     if pending:
         if report is not None:
             report.degraded += 1

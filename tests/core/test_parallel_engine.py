@@ -1,0 +1,138 @@
+"""End-to-end tests for the parallel path on the sharded worker engine:
+standardize() bit-identity across worker counts, the verify_parallel
+audit mode, shard accounting on SearchStats, and the new LSConfig knobs.
+"""
+
+import pytest
+
+from repro.core import LSConfig, LucidScript, TableJaccardIntent
+from repro.sandbox import kill_worker_pool
+
+
+@pytest.fixture(autouse=True)
+def _fresh_engine():
+    yield
+    kill_worker_pool()
+
+
+def _outcome(result):
+    return (result.output_script, result.transformations, result.re_after)
+
+
+def _system(diabetes_corpus, diabetes_dir, **config_kwargs):
+    defaults = dict(seq=4, beam_size=2, sample_rows=100)
+    defaults.update(config_kwargs)
+    return LucidScript(
+        diabetes_corpus,
+        data_dir=diabetes_dir,
+        intent=TableJaccardIntent(tau=0.5),
+        config=LSConfig(**defaults),
+    )
+
+
+class TestBitIdentityAcrossWorkerCounts:
+    def test_standardize_identical_for_1_2_4_workers(
+        self, diabetes_corpus, diabetes_dir, alex_script
+    ):
+        baseline = None
+        for workers in (1, 2, 4):
+            kill_worker_pool()
+            system = _system(
+                diabetes_corpus, diabetes_dir, parallel_workers=workers
+            )
+            outcome = _outcome(system.standardize(alex_script))
+            if baseline is None:
+                baseline = outcome
+            else:
+                assert outcome == baseline, f"workers={workers}"
+
+    def test_affinity_off_does_not_change_results(
+        self, diabetes_corpus, diabetes_dir, alex_script
+    ):
+        on = _system(
+            diabetes_corpus, diabetes_dir, parallel_workers=2, shard_affinity=True
+        )
+        kill_worker_pool()
+        off = _system(
+            diabetes_corpus, diabetes_dir, parallel_workers=2, shard_affinity=False
+        )
+        assert _outcome(on.standardize(alex_script)) == _outcome(
+            off.standardize(alex_script)
+        )
+
+
+class TestVerifyParallelAudit:
+    def test_audit_passes_on_a_real_run(
+        self, diabetes_corpus, diabetes_dir, alex_script
+    ):
+        audited = _system(
+            diabetes_corpus,
+            diabetes_dir,
+            parallel_workers=2,
+            verify_parallel=True,
+        )
+        plain = _system(diabetes_corpus, diabetes_dir, parallel_workers=2)
+        assert _outcome(audited.standardize(alex_script)) == _outcome(
+            plain.standardize(alex_script)
+        )
+
+    def test_audit_is_off_by_default(self):
+        assert LSConfig().verify_parallel is False
+
+
+class TestShardAccounting:
+    def test_stats_record_shard_activity(
+        self, diabetes_corpus, diabetes_dir, alex_script
+    ):
+        system = _system(diabetes_corpus, diabetes_dir, parallel_workers=2)
+        stats = system.standardize(alex_script).stats
+        assert stats.n_shard_hits > 0
+        assert stats.bytes_shipped > 0
+        assert stats.n_shard_migrations >= 0
+        breakdown = stats.breakdown()
+        assert breakdown["ShardHits"] == float(stats.n_shard_hits)
+        assert breakdown["ShardMigrations"] == float(stats.n_shard_migrations)
+        assert breakdown["BytesShipped"] == float(stats.bytes_shipped)
+
+    def test_serial_run_ships_nothing(
+        self, diabetes_corpus, diabetes_dir, alex_script
+    ):
+        system = _system(diabetes_corpus, diabetes_dir, parallel_workers=1)
+        stats = system.standardize(alex_script).stats
+        assert stats.bytes_shipped == 0
+        assert stats.n_shard_hits == 0
+
+
+class TestWorkerCacheConfig:
+    def test_limits_are_configurable_and_validated(self):
+        config = LSConfig(
+            worker_output_cache_limit=2,
+            worker_intent_cache_limit=3,
+            worker_source_cache_limit=16,
+        )
+        assert config.worker_output_cache_limit == 2
+        assert config.worker_intent_cache_limit == 3
+        assert config.worker_source_cache_limit == 16
+        for knob in (
+            "worker_output_cache_limit",
+            "worker_intent_cache_limit",
+            "worker_source_cache_limit",
+        ):
+            with pytest.raises(ValueError):
+                LSConfig(**{knob: 0})
+
+    def test_limit_resizes_the_resident_cache(self, diabetes_dir, diabetes_corpus):
+        from repro.core import standardizer as mod
+        from repro.lang import lemmatize
+
+        mod._WORKER_OUTPUT_CACHE.clear()
+        source = lemmatize(diabetes_corpus[0])
+        for rows in (10, 20, 30, 40):
+            fp = mod._original_output_fingerprint(source, diabetes_dir, rows)
+            mod._worker_original_output(
+                (fp, source), diabetes_dir, rows, None, limit=2
+            )
+        assert len(mod._WORKER_OUTPUT_CACHE) <= 2
+        assert mod._WORKER_OUTPUT_CACHE.capacity == 2
+        # restore the module default for other tests
+        mod._WORKER_OUTPUT_CACHE.resize(mod._WORKER_OUTPUT_CACHE_LIMIT)
