@@ -151,6 +151,16 @@ class LSConfig:
         divergence (exact comparison, including successor tie order and
         relative-position float means).  Off by default — it exists to
         audit the corpus engine, not for production.
+    verify_kernels:
+        Debug mode: shadow-run the naive row-at-a-time reference
+        implementation alongside every minipandas columnar kernel
+        (``fillna``/``dropna``/``duplicated``/``take``/``get_dummies``/
+        groupby aggregation) touched during ``standardize()`` and raise
+        :class:`repro.minipandas.KernelMismatchError` on any divergence
+        (bit-exact comparison, including missingness flavour and cell
+        types).  Scoped to the serial in-process path — shard workers
+        run unaudited.  Off by default — it exists to audit the kernel
+        engine, not for production.
     """
 
     seq: int = 16
@@ -180,6 +190,7 @@ class LSConfig:
     worker_source_cache_limit: int = 256
     corpus_cache: bool = True
     verify_index: bool = False
+    verify_kernels: bool = False
 
     def __post_init__(self):
         if self.seq < 1:

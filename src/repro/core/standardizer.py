@@ -23,6 +23,7 @@ from ..corpus import (
 )
 from ..lang import CorpusVocabulary, ScriptError, lemmatize, parse_script
 from ..minipandas import DataFrame
+from ..minipandas.kernels import kernel_audit
 from ..sandbox import IncrementalExecutor, run_script
 from ..sandbox.runner import BatchReport, get_worker_pool
 from .beam import BeamSearch, Candidate, SearchStats
@@ -431,6 +432,10 @@ class LucidScript:
     # ------------------------------------------------------------- online phase
     def standardize(self, script: str) -> StandardizationResult:
         """Produce a standardized version of *script* (Definition 4.5)."""
+        with kernel_audit(self.config.verify_kernels):
+            return self._standardize(script)
+
+    def _standardize(self, script: str) -> StandardizationResult:
         normalized = lemmatize(script)
         dag = parse_script(normalized, lemmatized=True)
         if not dag.statements:

@@ -22,6 +22,7 @@ from .datetimes import to_datetime
 from .frame import DataFrame
 from .index import Index, RangeIndex
 from .io import read_csv
+from .kernels import KernelMismatchError, kernel_audit, set_kernel_audit
 from .ops import (
     concat,
     cut,
@@ -42,9 +43,12 @@ __all__ = [
     "NA",
     "DataFrame",
     "Index",
+    "KernelMismatchError",
     "RangeIndex",
     "Series",
     "concat",
+    "kernel_audit",
+    "set_kernel_audit",
     "cut",
     "get_dummies",
     "is_missing",

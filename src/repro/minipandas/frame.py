@@ -1,10 +1,21 @@
 """A two-dimensional labelled table mirroring the pandas ``DataFrame`` API.
 
 The frame is a column store: an ordered mapping of column name to
-:class:`~repro.minipandas.series.Series`, all sharing one row index.  The API
-surface covers everything exercised by the data-preparation corpora that
-LucidScript standardizes — selection, boolean filtering, missing-data
-handling, dummy encoding, grouping, merging, and label-based assignment.
+:class:`~repro.minipandas.series.Series`, all sharing one row :class:`Index`
+object.  The API surface covers everything exercised by the
+data-preparation corpora that LucidScript standardizes — selection,
+boolean filtering, missing-data handling, dummy encoding, grouping,
+merging, and label-based assignment.
+
+Hot ops run as single-pass columnar kernels: they walk each column's
+payload list directly (never per-element ``iloc``), and any column an op
+leaves untouched is passed through as the *same payload object* under
+copy-on-write (:meth:`Series._share`), so derived frames — and the
+sandbox's prefix snapshots — share storage until something actually
+writes a cell.  ``LSConfig.verify_kernels`` shadow-runs the naive
+row-at-a-time references in :mod:`repro.minipandas._naive` against every
+kernel and raises :class:`repro.minipandas.kernels.KernelMismatchError`
+on divergence.
 """
 
 from __future__ import annotations
@@ -13,6 +24,7 @@ from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequ
 
 import numpy as np
 
+from . import kernels
 from ._missing import NA, is_missing
 from .index import Index, RangeIndex
 from .series import Series
@@ -20,6 +32,14 @@ from .series import Series
 __all__ = ["DataFrame"]
 
 _NUMERIC_DTYPES = ("int64", "float64", "bool")
+
+
+def _naive():
+    """The naive reference implementations, imported lazily: the audit is
+    off by default and ``_naive`` imports frame/series back."""
+    from . import _naive as module
+
+    return module
 
 
 class DataFrame:
@@ -38,8 +58,9 @@ class DataFrame:
             data = {}
 
         if isinstance(data, DataFrame):
-            index = data.index.tolist() if index is None else index
-            data = {col: data[col].tolist() for col in data.columns}
+            if index is None:
+                index = data._index  # immutable, adopted by reference below
+            data = {col: data._data[col] for col in data._columns}
 
         if isinstance(data, list):
             # list of row dicts
@@ -58,18 +79,26 @@ class DataFrame:
             raise ValueError(f"columns have mismatched lengths: {sorted(lengths)}")
         n_rows = lengths.pop() if lengths else 0
 
-        self._index: Index = Index(index) if index is not None else RangeIndex(n_rows)
+        if index is None:
+            self._index: Index = RangeIndex(n_rows)
+        elif isinstance(index, Index):
+            self._index = index  # Index is immutable: safe to adopt
+        else:
+            self._index = Index(index)
         if len(self._index) != n_rows and data:
             raise ValueError(
                 f"index length {len(self._index)} does not match data length {n_rows}"
             )
 
+        # every column shares the frame's single Index object; Series
+        # payloads are adopted by reference under copy-on-write
         ordered = columns if columns is not None else list(data.keys())
         for col in ordered:
             values = data[col]
             if isinstance(values, Series):
-                values = values.tolist()
-            self._data[col] = Series(values, index=self._index.tolist(), name=col)
+                self._data[col] = values._share(index=self._index, name=col)
+            else:
+                self._data[col] = Series._from_sequence(values, self._index, col)
             self._columns.append(col)
 
     # ------------------------------------------------------------------ basics
@@ -134,22 +163,42 @@ class DataFrame:
         lines.append(f"[{len(self)} rows x {len(self._columns)} columns]")
         return "\n".join(lines)
 
-    def copy(self) -> "DataFrame":
-        """Structural copy: fresh per-column value lists, shared index.
+    @classmethod
+    def _from_data(
+        cls, columns: Sequence[str], data: Dict[str, Series], index: Index
+    ) -> "DataFrame":
+        """Internal fast constructor: adopt prepared columns verbatim.
 
-        The row :class:`Index` is immutable, so every column of the copy
-        (and the copy itself) shares one index object instead of
-        re-materializing label lists per column.  Mutation goes through
-        ``Series._values`` / ``DataFrame._data``, both of which are fresh,
-        so the copy is as independent as a deep copy — at a fraction of
-        the cost.  The sandbox's incremental executor leans on this to
-        snapshot namespaces between statements.
+        Callers guarantee *data* holds one Series per name in *columns*,
+        each already aligned to *index* (same length, positionally) with
+        ``name`` equal to its column name.  No coercion, no Index
+        rebuild — this is how kernels hand shared payloads through.
         """
-        clone = DataFrame.__new__(DataFrame)
-        clone._columns = list(self._columns)
-        clone._index = self._index
-        clone._data = {c: self._data[c]._clone(self._index) for c in self._columns}
-        return clone
+        obj = cls.__new__(cls)
+        obj._columns = list(columns)
+        obj._data = data
+        obj._index = index
+        return obj
+
+    def _shared_columns(self) -> Dict[str, Series]:
+        """All columns as shared-payload wrappers (the untouched-column
+        passthrough used by ``copy``/``take``-identity/no-op kernels)."""
+        return {c: self._data[c]._share() for c in self._columns}
+
+    def copy(self) -> "DataFrame":
+        """O(columns) structural copy: shared payloads, shared index.
+
+        The row :class:`Index` is immutable and every column payload is
+        passed through by reference under copy-on-write — an in-place
+        write on either side (``loc`` assignment, ``Series.__setitem__``)
+        materializes a private list first, so the copy is as independent
+        as a deep copy at a fraction of the cost.  The sandbox's
+        incremental executor leans on this to snapshot namespaces between
+        statements without duplicating cell storage.
+        """
+        return DataFrame._from_data(
+            self._columns, self._shared_columns(), self._index
+        )
 
     # --------------------------------------------------------------- selection
     def __getitem__(self, key):
@@ -163,15 +212,22 @@ class DataFrame:
             return self._filter_mask(key)
         if isinstance(key, (list, tuple)):
             if key and all(isinstance(k, (bool, np.bool_)) for k in key):
-                return self._filter_mask(Series(list(key), index=self._index.tolist()))
+                return self._filter_mask(
+                    Series._from_sequence(list(key), self._index, None)
+                )
             missing = [k for k in key if k not in self._data]
             if missing:
                 raise KeyError(f"columns {missing!r} not found")
-            return DataFrame(
-                {k: self._data[k].tolist() for k in key}, index=self._index.tolist()
+            # column selection leaves values untouched: share every payload
+            # (dict ordering mirrors the legacy first-occurrence dedup)
+            cols = list(dict.fromkeys(key))
+            return DataFrame._from_data(
+                cols, {k: self._data[k]._share() for k in cols}, self._index
             )
         if isinstance(key, np.ndarray) and key.dtype == bool:
-            return self._filter_mask(Series(key.tolist(), index=self._index.tolist()))
+            return self._filter_mask(
+                Series._from_sequence(key.tolist(), self._index, None)
+            )
         if isinstance(key, slice):
             return self.iloc[key]
         raise TypeError(f"unsupported DataFrame key: {type(key).__name__}")
@@ -181,17 +237,22 @@ class DataFrame:
             raise TypeError("column labels must be strings")
         n = len(self._index)
         if isinstance(value, Series):
-            aligned = self._align_series(value)
-            self._data[key] = Series(aligned, index=self._index.tolist(), name=key)
+            if value._index is self._index and self._index.is_unique():
+                # derived from this frame (ops share the index object):
+                # labels align positionally, so adopt the payload directly
+                self._data[key] = value._share(index=self._index, name=key)
+            else:
+                aligned = self._align_series(value)
+                self._data[key] = Series._from_sequence(aligned, self._index, key)
         elif isinstance(value, (list, tuple, np.ndarray)):
             values = list(value)
             if len(values) != n:
                 raise ValueError(
                     f"length of values ({len(values)}) does not match rows ({n})"
                 )
-            self._data[key] = Series(values, index=self._index.tolist(), name=key)
+            self._data[key] = Series._from_sequence(values, self._index, key)
         else:
-            self._data[key] = Series([value] * n, index=self._index.tolist(), name=key)
+            self._data[key] = Series._from_sequence([value] * n, self._index, key)
         if key not in self._columns:
             self._columns.append(key)
 
@@ -206,17 +267,38 @@ class DataFrame:
         return [by_label.get(label, NA) for label in self._index]
 
     def _filter_mask(self, mask: Series) -> "DataFrame":
-        mask_by_label = dict(zip(mask.index, mask))
-        keep = [
-            pos for pos, label in enumerate(self._index) if mask_by_label.get(label, False)
-        ]
+        if mask._index is self._index and self._index.is_unique():
+            # mask derived from this frame (comparisons/combinators share
+            # the index object): flags align positionally
+            keep = [pos for pos, flag in enumerate(mask._values) if flag]
+        else:
+            mask_by_label = dict(zip(mask.index, mask))
+            keep = [
+                pos
+                for pos, label in enumerate(self._index)
+                if mask_by_label.get(label, False)
+            ]
         return self.take(keep)
 
     def take(self, positions: Sequence[int]) -> "DataFrame":
-        return DataFrame(
-            {c: [self._data[c].iloc[p] for p in positions] for c in self._columns},
-            index=self._index.take(positions).tolist(),
-        )
+        positions = list(positions)
+        n = len(self._index)
+        if len(positions) == n and positions == list(range(n)):
+            # identity gather: pass every payload (and the index) through
+            return DataFrame._from_data(
+                self._columns, self._shared_columns(), self._index
+            )
+        new_index = self._index.take(positions)
+        data = {}
+        for c in self._columns:
+            values = self._data[c]._values
+            data[c] = Series._from_payload(
+                [values[p] for p in positions], new_index, c
+            )
+        out = DataFrame._from_data(self._columns, data, new_index)
+        if kernels._AUDIT:
+            kernels.audit("take", out, lambda: _naive().take_frame(self, positions))
+        return out
 
     def head(self, n: int = 5) -> "DataFrame":
         return self.take(range(min(max(n, 0), len(self))))
@@ -280,40 +362,49 @@ class DataFrame:
 
     # ------------------------------------------------------------ missing data
     def isnull(self) -> "DataFrame":
-        return DataFrame(
-            {c: self._data[c].isnull().tolist() for c in self._columns},
-            index=self._index.tolist(),
+        # Series.isnull shares this frame's index, so the bool columns
+        # drop straight into a derived frame without re-coercion
+        return DataFrame._from_data(
+            self._columns,
+            {c: self._data[c].isnull() for c in self._columns},
+            self._index,
         )
 
     isna = isnull
 
     def notnull(self) -> "DataFrame":
-        return DataFrame(
-            {c: self._data[c].notnull().tolist() for c in self._columns},
-            index=self._index.tolist(),
+        return DataFrame._from_data(
+            self._columns,
+            {c: self._data[c].notnull() for c in self._columns},
+            self._index,
         )
 
     notna = notnull
 
     def fillna(self, value) -> "DataFrame":
-        out: Dict[str, List[Any]] = {}
+        out: Dict[str, Series] = {}
         if isinstance(value, Series):
             fill_by_col = dict(zip(value.index, value))
             for c in self._columns:
                 if c in fill_by_col and not is_missing(fill_by_col[c]):
-                    out[c] = self._data[c].fillna(fill_by_col[c]).tolist()
+                    out[c] = self._data[c].fillna(fill_by_col[c])
                 else:
-                    out[c] = self._data[c].tolist()
+                    out[c] = self._data[c]._share()
         elif isinstance(value, dict):
             for c in self._columns:
                 if c in value:
-                    out[c] = self._data[c].fillna(value[c]).tolist()
+                    out[c] = self._data[c].fillna(value[c])
                 else:
-                    out[c] = self._data[c].tolist()
+                    out[c] = self._data[c]._share()
         else:
             for c in self._columns:
-                out[c] = self._data[c].fillna(value).tolist()
-        return DataFrame(out, index=self._index.tolist())
+                out[c] = self._data[c].fillna(value)
+        result = DataFrame._from_data(self._columns, out, self._index)
+        if kernels._AUDIT:
+            kernels.audit(
+                "fillna", result, lambda: _naive().fillna_frame(self, value)
+            )
+        return result
 
     def dropna(
         self,
@@ -333,7 +424,7 @@ class DataFrame:
         if axis == 1:
             cols = []
             for c in self._columns:
-                missing = sum(1 for v in self._data[c] if is_missing(v))
+                missing = sum(1 for v in self._data[c]._values if is_missing(v))
                 present = len(self) - missing
                 if thresh is not None:
                     if present >= thresh:
@@ -346,28 +437,47 @@ class DataFrame:
                     # zero-row frame has no missing values, so keep every column
                     if present > 0 or len(self) == 0:
                         cols.append(c)
-            return self[cols]
+            out = self[cols]
+            if kernels._AUDIT:
+                kernels.audit(
+                    "dropna",
+                    out,
+                    lambda: _naive().dropna_frame(self, axis, how, subset, thresh),
+                )
+            return out
         check_cols = list(subset) if subset is not None else list(self._columns)
         for c in check_cols:
             if c not in self._data:
                 raise KeyError(f"column {c!r} not found")
-        keep = []
-        for pos in range(len(self)):
-            missing = sum(
-                1 for c in check_cols if is_missing(self._data[c].iloc[pos])
+        # columnar missing count: one pass per checked column, no iloc
+        n = len(self)
+        missing_counts = [0] * n
+        for c in check_cols:
+            for pos, v in enumerate(self._data[c]._values):
+                if is_missing(v):
+                    missing_counts[pos] += 1
+        n_check = len(check_cols)
+        if thresh is not None:
+            keep = [
+                pos for pos, m in enumerate(missing_counts) if n_check - m >= thresh
+            ]
+        elif how == "any":
+            keep = [pos for pos, m in enumerate(missing_counts) if m == 0]
+        else:
+            # "all": a row over zero checked columns has nothing missing
+            keep = [
+                pos
+                for pos, m in enumerate(missing_counts)
+                if n_check - m > 0 or not check_cols
+            ]
+        out = self.take(keep)
+        if kernels._AUDIT:
+            kernels.audit(
+                "dropna",
+                out,
+                lambda: _naive().dropna_frame(self, axis, how, subset, thresh),
             )
-            present = len(check_cols) - missing
-            if thresh is not None:
-                if present >= thresh:
-                    keep.append(pos)
-            elif how == "any":
-                if missing == 0:
-                    keep.append(pos)
-            else:
-                # "all": a row over zero checked columns has nothing missing
-                if present > 0 or not check_cols:
-                    keep.append(pos)
-        return self.take(keep)
+        return out
 
     # -------------------------------------------------------------- reductions
     def _numeric_columns(self) -> List[str]:
@@ -441,18 +551,30 @@ class DataFrame:
         check_cols = list(subset) if subset is not None else list(self._columns)
         seen = set()
         flags = []
-        for pos in range(len(self)):
-            key = tuple(
-                "__na__" if is_missing(self._data[c].iloc[pos]) else self._data[c].iloc[pos]
-                for c in check_cols
+        n = len(self)
+        if not check_cols:
+            # zero checked columns: every row shares the empty key
+            flags = [pos > 0 for pos in range(n)]
+        else:
+            # single zip pass over the column payloads; keys use a unique
+            # object sentinel for NA (a genuine "__na__" cell never
+            # collides) and fall back to a repr key for unhashable cells
+            # instead of raising TypeError mid-search
+            payloads = [self._data[c]._values for c in check_cols]
+            for row in zip(*payloads):
+                key = kernels.row_key(row)
+                flags.append(key in seen)
+                seen.add(key)
+        out = Series._from_payload(flags, self._index, None)
+        if kernels._AUDIT:
+            kernels.audit(
+                "duplicated", out, lambda: _naive().duplicated_frame(self, subset)
             )
-            flags.append(key in seen)
-            seen.add(key)
-        return Series(flags, index=self._index.tolist())
+        return out
 
     def drop_duplicates(self, subset: Optional[Sequence[str]] = None) -> "DataFrame":
         dup = self.duplicated(subset)
-        keep = [pos for pos, flag in enumerate(dup) if not flag]
+        keep = [pos for pos, flag in enumerate(dup._values) if not flag]
         return self.take(keep)
 
     # ------------------------------------------------------------- mutations
@@ -493,20 +615,27 @@ class DataFrame:
     def rename(self, columns: Optional[Dict[str, str]] = None, **_ignored) -> "DataFrame":
         if columns is None:
             return self.copy()
-        data = {columns.get(c, c): self._data[c].tolist() for c in self._columns}
-        return DataFrame(data, index=self._index.tolist())
+        # values untouched: share every payload under the new names
+        # (dict collisions keep legacy last-wins, first-insertion order)
+        data = {
+            columns.get(c, c): self._data[c]._share(name=columns.get(c, c))
+            for c in self._columns
+        }
+        return DataFrame._from_data(list(data.keys()), data, self._index)
 
     def astype(self, dtype) -> "DataFrame":
         if isinstance(dtype, dict):
             data = {
                 c: (
-                    self._data[c].astype(dtype[c]) if c in dtype else self._data[c]
-                ).tolist()
+                    self._data[c].astype(dtype[c])
+                    if c in dtype
+                    else self._data[c]._share()
+                )
                 for c in self._columns
             }
         else:
-            data = {c: self._data[c].astype(dtype).tolist() for c in self._columns}
-        return DataFrame(data, index=self._index.tolist())
+            data = {c: self._data[c].astype(dtype) for c in self._columns}
+        return DataFrame._from_data(self._columns, data, self._index)
 
     def apply(self, func: Callable, axis: int = 0):
         if axis == 0:
@@ -556,17 +685,19 @@ class DataFrame:
             if c not in self._data:
                 raise KeyError(f"column {c!r} not found")
 
+        payloads = [self._data[c]._values for c in by]
+
         def sort_key(pos):
-            key = []
-            for c in by:
-                v = self._data[c].iloc[pos]
-                key.append((is_missing(v), v if not is_missing(v) else 0))
-            return tuple(key)
+            return tuple(
+                (is_missing(v), v if not is_missing(v) else 0)
+                for v in (payload[pos] for payload in payloads)
+            )
 
         order = sorted(range(len(self)), key=sort_key, reverse=not ascending)
         if not ascending:
-            order = [p for p in order if not is_missing(self._data[by[0]].iloc[p])] + [
-                p for p in order if is_missing(self._data[by[0]].iloc[p])
+            first = payloads[0]
+            order = [p for p in order if not is_missing(first[p])] + [
+                p for p in order if is_missing(first[p])
             ]
         return self.take(order)
 
@@ -575,27 +706,44 @@ class DataFrame:
         return self.take(order)
 
     def reset_index(self, drop: bool = True) -> "DataFrame":
-        data = {c: self._data[c].tolist() for c in self._columns}
+        if drop and not self._columns:
+            # legacy round-trip through an empty dict: no columns, no rows
+            return DataFrame({})
+        new_index = RangeIndex(len(self._index))
+        data: Dict[str, Series] = {}
         if not drop:
-            data = {"index": self._index.tolist(), **data}
-        return DataFrame(data)
+            data["index"] = Series._from_sequence(
+                self._index.tolist(), new_index, "index"
+            )
+        for c in self._columns:
+            # values untouched: share payloads under the fresh range index
+            # (an existing "index" column overwrites the label column,
+            # matching the legacy dict-merge behaviour)
+            data[c] = self._data[c]._share(index=new_index)
+        return DataFrame._from_data(list(data.keys()), data, new_index)
 
     def set_index(self, col: str) -> "DataFrame":
-        labels = self._data[col].tolist()
-        data = {c: self._data[c].tolist() for c in self._columns if c != col}
-        return DataFrame(data, index=labels)
+        new_index = Index(self._data[col]._values)
+        cols = [c for c in self._columns if c != col]
+        return DataFrame._from_data(
+            cols, {c: self._data[c]._share(index=new_index) for c in cols}, new_index
+        )
 
     # ---------------------------------------------------------- imputation etc
     def ffill(self) -> "DataFrame":
-        return DataFrame(
-            {c: self._data[c].ffill().tolist() for c in self._columns},
-            index=self._index.tolist(),
+        # Series.ffill shares the index (and, when nothing is missing,
+        # the payload), so the columns drop straight into a derived frame
+        return DataFrame._from_data(
+            self._columns,
+            {c: self._data[c].ffill() for c in self._columns},
+            self._index,
         )
 
     def bfill(self) -> "DataFrame":
-        return DataFrame(
-            {c: self._data[c].bfill().tolist() for c in self._columns},
-            index=self._index.tolist(),
+        return DataFrame._from_data(
+            self._columns,
+            {c: self._data[c].bfill() for c in self._columns},
+            self._index,
         )
 
     def nlargest(self, n: int, columns) -> "DataFrame":
@@ -605,9 +753,10 @@ class DataFrame:
         return self.sort_values(columns, ascending=True).head(n)
 
     def shift(self, periods: int = 1) -> "DataFrame":
-        return DataFrame(
-            {c: self._data[c].shift(periods).tolist() for c in self._columns},
-            index=self._index.tolist(),
+        return DataFrame._from_data(
+            self._columns,
+            {c: self._data[c].shift(periods) for c in self._columns},
+            self._index,
         )
 
     def pivot(self, index: str, columns: str, values: str) -> "DataFrame":
@@ -645,9 +794,10 @@ class DataFrame:
         return self.rename(columns={c: f"{c}{suffix}" for c in self._columns})
 
     def isin(self, collection) -> "DataFrame":
-        return DataFrame(
-            {c: self._data[c].isin(collection).tolist() for c in self._columns},
-            index=self._index.tolist(),
+        return DataFrame._from_data(
+            self._columns,
+            {c: self._data[c].isin(collection) for c in self._columns},
+            self._index,
         )
 
     # ----------------------------------------------------------------- query
@@ -767,6 +917,7 @@ class _Loc:
         else:
             positions = [frame.index.get_loc(rows)]
         column = frame._data[col]
+        payload = column._materialize()  # copy-on-write: never touch sharers
         if isinstance(value, (list, tuple, np.ndarray, Series)):
             values = list(value)
             if len(values) != len(positions):
@@ -774,10 +925,10 @@ class _Loc:
                     f"length of values ({len(values)}) does not match targets ({len(positions)})"
                 )
             for pos, v in zip(positions, values):
-                column._values[pos] = v
+                payload[pos] = v
         else:
             for pos in positions:
-                column._values[pos] = value
+                payload[pos] = value
 
 
 class _ILoc:

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence, Union
 
+from . import kernels
 from ._missing import NA, is_missing
 from .frame import DataFrame
 from .series import Series
@@ -11,6 +12,12 @@ from .series import Series
 __all__ = ["GroupBy", "SeriesGroupBy"]
 
 _AGG_NAMES = ("mean", "median", "sum", "min", "max", "count", "std", "var", "nunique")
+
+
+def _naive():
+    from . import _naive as module
+
+    return module
 
 
 class GroupBy:
@@ -26,13 +33,18 @@ class GroupBy:
 
     def _build_groups(self) -> Dict[Any, List[int]]:
         groups: Dict[Any, List[int]] = {}
-        key_cols = [self._frame[c] for c in self._by]
-        for pos in range(len(self._frame)):
-            raw = tuple(col.iloc[pos] for col in key_cols)
-            if any(is_missing(v) for v in raw):
-                continue  # pandas drops NA group keys by default
-            key = raw[0] if len(raw) == 1 else raw
-            groups.setdefault(key, []).append(pos)
+        payloads = [self._frame._data[c]._values for c in self._by]
+        if len(payloads) == 1:
+            # single key: skip the per-row tuple entirely
+            for pos, v in enumerate(payloads[0]):
+                if is_missing(v):
+                    continue  # pandas drops NA group keys by default
+                groups.setdefault(v, []).append(pos)
+        else:
+            for pos, raw in enumerate(zip(*payloads)):
+                if any(is_missing(v) for v in raw):
+                    continue
+                groups.setdefault(raw, []).append(pos)
         return groups
 
     # -- accessors ------------------------------------------------------------
@@ -43,7 +55,7 @@ class GroupBy:
             col = col[0]
         if col not in self._frame.columns:
             raise KeyError(f"column {col!r} not found")
-        return SeriesGroupBy(self._frame, self._groups, col)
+        return SeriesGroupBy(self._frame, self._groups, col, by=self._by)
 
     @property
     def groups(self) -> Dict[Any, List[int]]:
@@ -78,7 +90,14 @@ class GroupBy:
             data[col] = [
                 getattr(column.take(self._groups[k]), func_name)() for k in keys
             ]
-        return DataFrame(data, index=keys)
+        out = DataFrame(data, index=keys)
+        if kernels._AUDIT:
+            kernels.audit(
+                "groupby.agg",
+                out,
+                lambda: _naive().groupby_agg_frame(self._frame, self._by, spec),
+            )
+        return out
 
     def mean(self) -> DataFrame:
         return self.agg("mean")
@@ -105,16 +124,32 @@ class GroupBy:
 class SeriesGroupBy:
     """A single grouped column (``df.groupby(key)[col]``)."""
 
-    def __init__(self, frame: DataFrame, groups: Dict[Any, List[int]], col: str):
+    def __init__(
+        self,
+        frame: DataFrame,
+        groups: Dict[Any, List[int]],
+        col: str,
+        by: Optional[List[str]] = None,
+    ):
         self._frame = frame
         self._groups = groups
         self._col = col
+        self._by = by
 
     def _agg(self, func_name: str) -> Series:
         keys = sorted(self._groups.keys(), key=repr)
         column = self._frame[self._col]
         values = [getattr(column.take(self._groups[k]), func_name)() for k in keys]
-        return Series(values, index=keys, name=self._col)
+        out = Series(values, index=keys, name=self._col)
+        if kernels._AUDIT and self._by is not None:
+            kernels.audit(
+                "groupby.agg",
+                out,
+                lambda: _naive().groupby_agg_series(
+                    self._frame, self._by, self._col, func_name
+                ),
+            )
+        return out
 
     def mean(self) -> Series:
         return self._agg("mean")

@@ -18,6 +18,7 @@ class Index:
     def __init__(self, labels: Iterable[Any]):
         self._labels: List[Any] = list(labels)
         self._positions = None  # lazy label -> position map
+        self._unique = None  # lazy uniqueness memo (Index is immutable)
 
     # -- basic container protocol -------------------------------------------------
     def __len__(self) -> int:
@@ -82,7 +83,12 @@ class Index:
         return self.tolist()
 
     def is_unique(self) -> bool:
-        return len(set(self._labels)) == len(self._labels)
+        """Whether every label occurs once.  Memoized — the columnar
+        kernels consult this to decide if positional fast paths preserve
+        the legacy label-aligned semantics exactly."""
+        if self._unique is None:
+            self._unique = len(set(self._labels)) == len(self._labels)
+        return self._unique
 
     def take(self, positions: Sequence[int]) -> "Index":
         return Index(self._labels[pos] for pos in positions)

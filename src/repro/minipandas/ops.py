@@ -10,9 +10,10 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from . import kernels
 from ._missing import NA, is_missing
 from .frame import DataFrame
-from .series import Series
+from .series import Series, _coerce_scalar
 
 __all__ = [
     "get_dummies",
@@ -55,29 +56,72 @@ def get_dummies(
                 raise KeyError(f"column {c!r} not found")
         encode = list(columns)
 
-    out: Dict[str, List[Any]] = {}
+    zero = _coerce_scalar(dtype(0))
+    one = _coerce_scalar(dtype(1))
+    n = len(data)
+    out: Dict[str, Series] = {}
     for col in data.columns:
         if col not in encode:
-            out[col] = data[col].tolist()
+            # passthrough columns keep their payloads; colliding names are
+            # de-duplicated deterministically in insertion order (first
+            # occupant keeps the bare name) instead of silently overwriting
+            name = kernels.fresh_name(col, out)
+            out[name] = data[col]._share(name=name)
             continue
         series = data[col]
-        categories = sorted(
-            {v for v in series if not is_missing(v)}, key=lambda v: (str(type(v)), str(v))
-        )
-        if drop_first:
-            categories = categories[1:]
+        categories = _dummy_categories(series, drop_first)
         if isinstance(prefix, dict):
             col_prefix = prefix.get(col, col)
         elif isinstance(prefix, str):
             col_prefix = prefix
         else:
             col_prefix = col
+        # one-pass bucket kernel: each cell flips a single 1 in its
+        # category's column instead of comparing against every category
+        buckets: Dict[Any, List[Any]] = {}
         for category in categories:
-            dummy_name = f"{col_prefix}{prefix_sep}{category}"
-            out[dummy_name] = [
-                dtype(0) if is_missing(v) else dtype(v == category) for v in series
-            ]
-    return DataFrame(out, index=data.index.tolist())
+            name = kernels.fresh_name(f"{col_prefix}{prefix_sep}{category}", out)
+            column = [zero] * n
+            buckets[kernels.na_key(category)] = column
+            out[name] = Series._from_payload(column, data.index, name)
+        for pos, v in enumerate(series._values):
+            if is_missing(v):
+                continue
+            column = buckets.get(kernels.na_key(v))
+            if column is not None:
+                column[pos] = one
+    result = DataFrame._from_data(list(out.keys()), out, data.index)
+    if kernels._AUDIT:
+        kernels.audit(
+            "get_dummies",
+            result,
+            lambda: _naive_module().get_dummies_frame(
+                data, encode, prefix, prefix_sep, drop_first, dtype
+            ),
+        )
+    return result
+
+
+def _dummy_categories(series: Series, drop_first: bool) -> List[Any]:
+    """Distinct non-missing values in the established sort order.
+
+    Keyed through :func:`kernels.na_key` so a column holding unhashable
+    cells yields repr-grouped categories instead of raising ``TypeError``
+    mid-search; equality semantics for hashable values are unchanged
+    (``1``/``True``/``1.0`` still collapse, like the old ``set``).
+    """
+    distinct: Dict[Any, Any] = {}
+    for v in series._values:
+        if not is_missing(v):
+            distinct.setdefault(kernels.na_key(v), v)
+    categories = sorted(distinct.values(), key=lambda v: (str(type(v)), str(v)))
+    return categories[1:] if drop_first else categories
+
+
+def _naive_module():
+    from . import _naive as module
+
+    return module
 
 
 def concat(

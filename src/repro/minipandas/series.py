@@ -1,9 +1,12 @@
 """A one-dimensional labelled array mirroring the pandas ``Series`` API.
 
-Values are stored as a plain Python list, which keeps mixed-type and
-missing-data handling straightforward; numeric reductions convert to numpy
-on demand.  The corpus scripts LucidScript standardizes run on sampled
-inputs (a few thousand rows), so clarity wins over vectorized storage.
+Values are stored as a plain Python list — the column *payload*.
+Payloads are treated as immutable and structurally shared: ``copy()``,
+untouched-column passthrough in DataFrame ops, and sandbox snapshots all
+reference the same list, and the few in-place mutation entry points
+(``__setitem__``, ``loc`` assignment) copy-on-write through
+:meth:`Series._materialize` first.  Mixed-type and missing-data handling
+stay straightforward; numeric reductions convert to numpy on demand.
 """
 
 from __future__ import annotations
@@ -13,10 +16,13 @@ from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequ
 
 import numpy as np
 
+from . import kernels
 from ._missing import NA, is_missing
 from .index import Index, RangeIndex
 
 __all__ = ["Series"]
+
+_UNSET = object()
 
 
 def _infer_dtype(values: Sequence[Any]) -> str:
@@ -65,6 +71,11 @@ def _coerce_scalar(value: Any) -> Any:
 class Series:
     """A labelled 1-D column of values with pandas-like semantics."""
 
+    #: Copy-on-write marker: True when ``_values`` may be referenced by
+    #: another Series (class-level default so ``__new__`` paths start
+    #: unshared without an explicit assignment).
+    _shared = False
+
     def __init__(
         self,
         data: Iterable[Any] = (),
@@ -73,8 +84,13 @@ class Series:
         dtype: Optional[str] = None,
     ):
         shared_index: Optional[Index] = None
+        shared_payload = False
         if isinstance(data, Series):
-            values = list(data._values)
+            # constructor values are already coerced, so adopt the payload
+            # by reference; copy-on-write isolates later mutation
+            values = data._values
+            shared_payload = True
+            data._shared = True
             if index is None:
                 shared_index = data._index
             if name is None:
@@ -99,6 +115,8 @@ class Series:
         self.name = name
         if dtype is not None:
             self._values = _cast_values(self._values, dtype)
+        elif shared_payload:
+            self._shared = True
 
     # ------------------------------------------------------------------ basics
     @property
@@ -155,17 +173,72 @@ class Series:
         return self._clone(self._index)
 
     def _clone(self, index: Index) -> "Series":
-        """O(n) structural copy: fresh value list, shared immutable index.
+        """O(1) structural copy: shared payload, shared immutable index.
 
-        ``Index`` is immutable, so sharing it is safe and skips rebuilding
-        the label list and position map on every copy.  This is the cheap
-        snapshot primitive behind the incremental sandbox executor.
+        Both the payload list and the ``Index`` are shared by reference —
+        the payload under copy-on-write (any in-place mutation on either
+        side materializes a private list first), the index because it is
+        immutable.  This is the cheap snapshot primitive behind the
+        incremental sandbox executor: snapshots and live namespaces share
+        column storage until a script actually writes a cell.
         """
-        clone = Series.__new__(Series)
-        clone._values = list(self._values)
-        clone._index = index
-        clone.name = self.name
-        return clone
+        return self._share(index=index)
+
+    def _share(self, index: Optional[Index] = None, name: Any = _UNSET) -> "Series":
+        """A new Series referencing this payload (both sides marked shared).
+
+        Used wherever an op leaves a column untouched: the derived frame
+        passes the same payload object through instead of rebuilding the
+        list.  *index*/*name* override the wrapper's labels/name without
+        touching the payload (e.g. ``rename``, ``reset_index``).
+        """
+        self._shared = True
+        out = Series.__new__(Series)
+        out._values = self._values
+        out._shared = True
+        out._index = self._index if index is None else index
+        out.name = self.name if name is _UNSET else name
+        return out
+
+    def _materialize(self) -> List[Any]:
+        """The payload as a privately owned list — copy-on-write barrier.
+
+        Every in-place mutation entry point calls this first; when the
+        payload is shared the list is copied once and the flag cleared,
+        so sharers never observe the write.
+        """
+        if self._shared:
+            self._values = list(self._values)
+            self._shared = False
+        return self._values
+
+    @classmethod
+    def _from_payload(cls, values: List[Any], index: Index, name) -> "Series":
+        """Internal fast constructor: adopt *values* (already coerced) and
+        *index* (an Index object) without copying or re-validating."""
+        out = cls.__new__(cls)
+        out._values = values
+        out._index = index
+        out.name = name
+        return out
+
+    @classmethod
+    def _from_sequence(cls, values, index: Index, name) -> "Series":
+        """Coerce caller-supplied *values* and attach an existing Index
+        object, skipping the constructor's per-column Index rebuild."""
+        if isinstance(values, np.ndarray):
+            coerced = (
+                [_coerce_scalar(v) for v in values.tolist()]
+                if values.dtype == object
+                else values.tolist()
+            )
+        else:
+            coerced = [_coerce_scalar(v) for v in values]
+        if len(coerced) != len(index):
+            raise ValueError(
+                f"index length {len(index)} does not match data length {len(coerced)}"
+            )
+        return cls._from_payload(coerced, index, name)
 
     def _with_values(self, values: List[Any], coerce: bool = False) -> "Series":
         """Derive a Series with new *values* but this Series' labels.
@@ -218,13 +291,19 @@ class Series:
                 for label, flag in zip(key.index, key._values)
                 if flag
             ]
+            values = self._materialize()
             for pos in positions:
-                self._values[pos] = value
+                values[pos] = value
             return
         pos = self._index.get_loc(key)
-        self._values[pos] = value
+        self._materialize()[pos] = value
 
     def _filter_mask(self, mask: "Series") -> "Series":
+        if mask._index is self._index and self._index.is_unique():
+            # the mask was derived from this Series (comparisons share the
+            # index object), so flags align positionally — skip the
+            # label-alignment dict entirely
+            return self.take([pos for pos, flag in enumerate(mask._values) if flag])
         mask_by_label = dict(zip(mask.index, mask._values))
         values, labels = [], []
         for label, value in zip(self._index, self._values):
@@ -234,10 +313,12 @@ class Series:
         return Series(values, index=labels, name=self.name)
 
     def take(self, positions: Sequence[int]) -> "Series":
-        return Series(
-            [self._values[p] for p in positions],
-            index=self._index.take(positions).tolist(),
-            name=self.name,
+        positions = list(positions)
+        values = self._values
+        return Series._from_payload(
+            [values[p] for p in positions],
+            self._index.take(positions),
+            self.name,
         )
 
     @property
@@ -259,7 +340,7 @@ class Series:
     def reset_index(self, drop: bool = False):
         if not drop:
             raise NotImplementedError("Series.reset_index(drop=False) is unsupported")
-        return Series(list(self._values), name=self.name)
+        return self._share(index=RangeIndex(len(self._values)))
 
     # ------------------------------------------------------- elementwise math
     def _binary_op(self, other: Any, op: Callable[[Any, Any], Any], propagate_na: bool = True) -> "Series":
@@ -389,13 +470,24 @@ class Series:
     def fillna(self, value: Any) -> "Series":
         if isinstance(value, Series):
             fill_by_label = dict(zip(value.index, value._values))
-            values = [
-                fill_by_label.get(label, v) if is_missing(v) else v
-                for label, v in zip(self._index, self._values)
-            ]
+            out: Optional[List[Any]] = None
+            for pos, (label, v) in enumerate(zip(self._index, self._values)):
+                if is_missing(v) and label in fill_by_label:
+                    if out is None:
+                        out = list(self._values)
+                    out[pos] = _coerce_scalar(fill_by_label[label])
         else:
-            values = [value if is_missing(v) else v for v in self._values]
-        return self._with_values(values, coerce=True)
+            fill = _coerce_scalar(value)
+            out = None
+            for pos, v in enumerate(self._values):
+                if is_missing(v):
+                    if out is None:
+                        out = list(self._values)
+                    out[pos] = fill
+        if out is None:
+            # nothing filled: pass the payload through untouched
+            return self._share()
+        return self._with_values(out)
 
     def dropna(self) -> "Series":
         pairs = [
@@ -437,7 +529,9 @@ class Series:
         seen = set()
         flags = []
         for v in self._values:
-            key = ("__na__",) if is_missing(v) else v
+            # unique object sentinel: a genuine ("__na__",) cell can never
+            # collide with NA; unhashable cells fall back to a repr key
+            key = kernels.na_key(v)
             flags.append(key in seen)
             seen.add(key)
         return self._with_values(flags)
@@ -608,7 +702,7 @@ class Series:
         seen = set()
         out = []
         for v in self._values:
-            key = "__na__" if is_missing(v) else v
+            key = kernels.na_key(v)
             if key not in seen:
                 seen.add(key)
                 out.append(v)
@@ -746,6 +840,8 @@ class Series:
         return self._with_values(ranks)
 
     def ffill(self) -> "Series":
+        if not any(is_missing(v) for v in self._values):
+            return self._share()
         values, last = [], NA
         for v in self._values:
             if is_missing(v):
@@ -756,6 +852,8 @@ class Series:
         return self._with_values(values)
 
     def bfill(self) -> "Series":
+        if not any(is_missing(v) for v in self._values):
+            return self._share()
         values: List[Any] = []
         upcoming = NA
         for v in reversed(self._values):

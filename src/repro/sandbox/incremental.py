@@ -19,7 +19,11 @@ the snapshot.  Three guards keep that true:
   ``extra_globals`` (injected objects cannot be keyed or safely copied);
 * namespace values are copied structurally with aliasing preserved
   (one memo per freeze/thaw, shared with :func:`copy.deepcopy` for
-  uncommon types); values that cannot be safely copied — e.g. functions
+  uncommon types); frames and Series are captured with their
+  copy-on-write ``copy()``, so snapshots and the live namespace share
+  column payloads until a script writes a cell (tallied in
+  ``IncrementalStats.payload_cells_shared``); values that cannot be
+  safely copied — e.g. functions
   defined by the script, whose ``__globals__`` binds the live namespace —
   mark the prefix unsnapshottable, and execution simply continues without
   caching deeper prefixes;
@@ -81,12 +85,21 @@ class _Unsnapshottable(Exception):
     """A namespace value cannot be safely copied into a snapshot."""
 
 
-def _snapshot_value(value: Any, memo: Dict[int, Any]) -> Any:
+def _snapshot_value(
+    value: Any, memo: Dict[int, Any], stats: Optional["IncrementalStats"] = None
+) -> Any:
     """Structural copy of one namespace value, preserving aliasing.
 
     *memo* maps ``id(original) -> copy`` (the same scheme
     :func:`copy.deepcopy` uses, and is shared with it), so two names bound
     to one frame stay bound to one copy after restore.
+
+    Frames and Series are copied with their own copy-on-write ``copy()``:
+    the snapshot and the live namespace reference the *same* column
+    payload lists (O(columns) per frame, no cell duplication) and a later
+    in-place write on either side materializes a private list first.
+    ``stats`` tallies how many cells each snapshot shared that a deep
+    copy would have duplicated.
     """
     if isinstance(value, _IMMUTABLE_TYPES):
         return value
@@ -97,25 +110,30 @@ def _snapshot_value(value: Any, memo: Dict[int, Any]) -> Any:
         return value  # shared sandbox substrate, never script-mutable state
     if isinstance(value, DataFrame):
         clone = value.copy()
+        if stats is not None:
+            stats.frames_snapshotted += 1
+            stats.payload_cells_shared += len(value) * len(value.columns)
     elif isinstance(value, Series):
         clone = value.copy()
+        if stats is not None:
+            stats.payload_cells_shared += len(value)
     elif isinstance(value, np.ndarray):
         clone = value.copy()
     elif isinstance(value, list):
         clone = []
         memo[id(value)] = clone
-        clone.extend(_snapshot_value(v, memo) for v in value)
+        clone.extend(_snapshot_value(v, memo, stats) for v in value)
         return clone
     elif isinstance(value, dict):
         clone = {}
         memo[id(value)] = clone
         for k, v in value.items():
-            clone[k] = _snapshot_value(v, memo)
+            clone[k] = _snapshot_value(v, memo, stats)
         return clone
     elif isinstance(value, set):
-        clone = {_snapshot_value(v, memo) for v in value}
+        clone = {_snapshot_value(v, memo, stats) for v in value}
     elif isinstance(value, tuple):
-        return tuple(_snapshot_value(v, memo) for v in value)
+        return tuple(_snapshot_value(v, memo, stats) for v in value)
     elif callable(value):
         # a function def'd by the script closes over the live namespace;
         # sharing or copying it would either leak or sever that binding
@@ -157,6 +175,12 @@ class IncrementalStats:
     executed_statements: int = 0
     fallbacks: int = 0
     timeouts: int = 0
+    #: DataFrames captured into (or thawed out of) snapshots via the
+    #: copy-on-write structural copy.
+    frames_snapshotted: int = 0
+    #: Cells those copies shared by reference — each one a cell a deep
+    #: copy would have duplicated into the snapshot store.
+    payload_cells_shared: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -179,6 +203,8 @@ class IncrementalStats:
             "executed_statements": float(self.executed_statements),
             "fallbacks": float(self.fallbacks),
             "timeouts": float(self.timeouts),
+            "frames_snapshotted": float(self.frames_snapshotted),
+            "payload_cells_shared": float(self.payload_cells_shared),
         }
 
 
@@ -354,7 +380,7 @@ class IncrementalExecutor:
         namespace = self._fresh_namespace()
         memo: Dict[int, Any] = {}
         for name, value in frozen.items():
-            namespace[name] = _snapshot_value(value, memo)
+            namespace[name] = _snapshot_value(value, memo, self.stats)
         return namespace
 
     def _freeze(self, namespace: Dict[str, Any]):
@@ -363,7 +389,7 @@ class IncrementalExecutor:
         for name, value in namespace.items():
             if name in ("__builtins__", "__name__"):
                 continue
-            frozen[name] = _snapshot_value(value, memo)
+            frozen[name] = _snapshot_value(value, memo, self.stats)
         return frozen, _fingerprint(namespace)
 
     def _compiled(self, segment: str, node: ast.stmt):
