@@ -11,11 +11,20 @@ Subcommands::
     python -m repro index build  --corpus-dir peers/ --out peers.index.json
     python -m repro index update --index peers.index.json
     python -m repro index stats  --index peers.index.json
+    python -m repro index retrieve --corpus-dir pool/ --script prep.py -k 20
 
 ``standardize``/``score``/``explain``/``detect-leakage`` also accept
 ``--index peers.index.json`` instead of (or alongside) ``--corpus-dir``:
 the persisted offline phase is loaded in O(snapshot) and, when a corpus
 directory is also given, refreshed by reparsing only changed files.
+
+``--retrieve-k N`` switches ``standardize``/``score``/``explain``/
+``detect-leakage`` to the retrieve-then-compute path: the corpus
+argument is treated as a *pool*, and the working corpus becomes the
+pool's N most similar scripts to the input (LSH top-k over minhash +
+schema signatures; ``--verify-retrieval`` audits each query against
+brute force).  ``index retrieve`` exposes the same search directly,
+printing the ranked hits.
 """
 
 from __future__ import annotations
@@ -35,7 +44,15 @@ from .core import (
     TableJaccardIntent,
 )
 from .core.explain import explain_result
-from .corpus import CorpusIndex, load_index, save_index
+from .corpus import (
+    CorpusIndex,
+    RetrievalIndex,
+    load_index,
+    load_retrieval_index,
+    save_index,
+    save_retrieval_index,
+    shared_store,
+)
 from .lang import CorpusVocabulary
 from .workloads import build_competition, competition_names
 
@@ -53,8 +70,16 @@ def _read_corpus(corpus_dir: str) -> List[str]:
     """
     from .lang import script_from_notebook
 
-    py_paths = sorted(glob.glob(os.path.join(corpus_dir, "*.py")))
-    nb_paths = sorted(glob.glob(os.path.join(corpus_dir, "*.ipynb")))
+    # sorted by file name, not directory iteration order: corpus order is
+    # semantic (it drives Counter tie order and the corpus cache key), so
+    # the same directory must load identically on every filesystem —
+    # matching MembershipIndex._scan's ordering exactly
+    py_paths = sorted(
+        glob.glob(os.path.join(corpus_dir, "*.py")), key=os.path.basename
+    )
+    nb_paths = sorted(
+        glob.glob(os.path.join(corpus_dir, "*.ipynb")), key=os.path.basename
+    )
     loaded: List[tuple] = []
     for path in py_paths:
         with open(path, "r") as handle:
@@ -106,6 +131,31 @@ def _corpus_input(args) -> Union[List[str], CorpusIndex]:
     return _read_corpus(args.corpus_dir)
 
 
+def _apply_retrieval(corpus, args, config: LSConfig):
+    """Swap the curated corpus for a retrieval pool when --retrieve-k is set.
+
+    The resolved corpus (raw scripts or a loaded index) becomes the pool
+    of a :class:`RetrievalIndex` over the shared store; LucidScript then
+    defers curation and assembles each query's working corpus by top-k
+    similarity.
+    """
+    k = getattr(args, "retrieve_k", None)
+    if k is None:
+        return corpus
+    config.retrieval_k = k
+    config.verify_retrieval = bool(getattr(args, "verify_retrieval", False))
+    pool = RetrievalIndex(store=shared_store())
+    if isinstance(corpus, CorpusIndex):
+        for content_hash in corpus.content_hashes():
+            pool.add_record(corpus._records[content_hash])
+    else:
+        for source in corpus:
+            pool.add_script(source)
+    if not pool.n_scripts:
+        raise SystemExit("retrieval pool is empty")
+    return pool
+
+
 def _read_script(path: str) -> str:
     with open(path, "r") as handle:
         return handle.read()
@@ -134,6 +184,20 @@ def _add_common(parser: argparse.ArgumentParser, with_search: bool = True) -> No
         "--index",
         help="persisted corpus index (from 'index build'); loads the offline "
         "phase without reparsing, refreshed against --corpus-dir when given",
+    )
+    parser.add_argument(
+        "--retrieve-k",
+        type=int,
+        default=None,
+        metavar="N",
+        help="treat the corpus as a pool and curate the N scripts most "
+        "similar to the input via LSH top-k retrieval",
+    )
+    parser.add_argument(
+        "--verify-retrieval",
+        action="store_true",
+        help="audit every top-k retrieval against brute-force signature "
+        "similarity (debug mode, O(pool) per query)",
     )
     if with_search:
         parser.add_argument("--data-dir", help="directory holding the dataset CSVs")
@@ -210,6 +274,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_istats.add_argument("--index", required=True, help="index snapshot to inspect")
     p_istats.add_argument("--audit", action="store_true",
                           help="verify bit-identity against a from-scratch rebuild")
+    p_iretr = index_sub.add_parser(
+        "retrieve", help="top-k most similar pool scripts for a query script"
+    )
+    p_iretr.add_argument("--corpus-dir",
+                         help="directory of pool .py/.ipynb scripts")
+    p_iretr.add_argument("--index",
+                         help="persisted retrieval-pool snapshot "
+                         "(from a previous 'index retrieve --out')")
+    p_iretr.add_argument("--script", required=True, help="query script path")
+    p_iretr.add_argument("-k", "--k", type=int, default=20, dest="k",
+                         help="number of hits to retrieve (default 20)")
+    p_iretr.add_argument("--verify", action="store_true",
+                         help="audit the LSH result against brute-force "
+                         "signature similarity")
+    p_iretr.add_argument("--out",
+                         help="persist the retrieval pool snapshot here for "
+                         "reuse (loads in O(snapshot), no reparsing)")
 
     return parser
 
@@ -222,6 +303,7 @@ def cmd_standardize(args) -> int:
     corpus = _corpus_input(args)
     config = _make_config(args)
     config.sample_rows = _resolve_sample_rows(args)
+    corpus = _apply_retrieval(corpus, args, config)
     system = LucidScript(
         corpus, data_dir=args.data_dir, intent=_make_intent(args), config=config
     )
@@ -240,7 +322,9 @@ def cmd_standardize(args) -> int:
 
 def cmd_score(args) -> int:
     corpus = _corpus_input(args)
-    system = LucidScript(corpus)
+    config = LSConfig()
+    corpus = _apply_retrieval(corpus, args, config)
+    system = LucidScript(corpus, config=config)
     score = system.score(_read_script(args.script))
     print(f"{score:.4f}")
     return 0
@@ -250,6 +334,7 @@ def cmd_explain(args) -> int:
     corpus = _corpus_input(args)
     config = _make_config(args)
     config.sample_rows = _resolve_sample_rows(args)
+    corpus = _apply_retrieval(corpus, args, config)
     system = LucidScript(
         corpus, data_dir=args.data_dir, intent=_make_intent(args), config=config
     )
@@ -287,6 +372,7 @@ def cmd_detect_leakage(args) -> int:
     corpus = _corpus_input(args)
     config = _make_config(args)
     config.sample_rows = _resolve_sample_rows(args)
+    corpus = _apply_retrieval(corpus, args, config)
     system = LucidScript(
         corpus, data_dir=args.data_dir, intent=_make_intent(args), config=config
     )
@@ -334,7 +420,38 @@ def _print_index_summary(index: CorpusIndex) -> None:
         print(f"corpus dir: {index.corpus_dir}")
 
 
+def cmd_index_retrieve(args) -> int:
+    if args.index:
+        pool = load_retrieval_index(args.index)
+        if args.corpus_dir:
+            pool.refresh(args.corpus_dir)
+    elif args.corpus_dir:
+        pool = RetrievalIndex()
+        pool.refresh(args.corpus_dir)
+    else:
+        raise SystemExit("one of --corpus-dir or --index is required")
+    if not pool.n_scripts:
+        raise SystemExit("retrieval pool is empty")
+    hits = pool.top_k(_read_script(args.script), args.k, verify=args.verify)
+    stats = pool.stats()
+    print(
+        f"pool: {stats['n_unique_scripts']} unique scripts, "
+        f"{stats['n_band_buckets']} band buckets, "
+        f"{stats['n_schema_tokens']} schema tokens"
+        + (" [audited]" if args.verify else "")
+    )
+    for rank, hit in enumerate(hits, start=1):
+        first_line = hit.record.source.splitlines()[0] if hit.record.source else ""
+        print(f"{rank:3d}  {hit.score:.4f}  {hit.content_hash[:12]}  {first_line}")
+    if args.out:
+        save_retrieval_index(pool, args.out)
+        print(f"pool snapshot -> {args.out}")
+    return 0
+
+
 def cmd_index(args) -> int:
+    if args.index_command == "retrieve":
+        return cmd_index_retrieve(args)
     if args.index_command == "build":
         index = CorpusIndex()
         report = index.refresh(args.corpus_dir)

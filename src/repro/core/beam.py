@@ -115,6 +115,9 @@ class SearchStats:
     n_corpus_index_hits: int = 0
     n_corpus_script_hits: int = 0
     n_corpus_reparses: int = 0
+    n_retrieval_queries: int = 0
+    n_retrieval_candidates: int = 0
+    n_retrieval_fallbacks: int = 0
     n_iterations: int = 0
     n_exec_batches: int = 0
     n_batched_checks: int = 0
@@ -164,6 +167,9 @@ class SearchStats:
             "CorpusIndexHits": float(self.n_corpus_index_hits),
             "CorpusScriptHits": float(self.n_corpus_script_hits),
             "CorpusReparses": float(self.n_corpus_reparses),
+            "RetrievalQueries": float(self.n_retrieval_queries),
+            "RetrievalCandidates": float(self.n_retrieval_candidates),
+            "RetrievalFallbacks": float(self.n_retrieval_fallbacks),
             "CheckIfExecutesCPU": self.check_executes_cpu_s,
             "ExecBatches": float(self.n_exec_batches),
             "BatchedChecks": float(self.n_batched_checks),

@@ -151,6 +151,22 @@ class LSConfig:
         divergence (exact comparison, including successor tie order and
         relative-position float means).  Off by default — it exists to
         audit the corpus engine, not for production.
+    retrieval_k:
+        How many pool scripts ``top_k`` retrieval assembles into the
+        working corpus when the system is constructed over a
+        :class:`repro.corpus.RetrievalIndex` (the retrieve-then-compute
+        service path).  The working corpus is a deterministic function
+        of (pool, query, k) — ties break on content address — and the
+        search over it is bit-identical to a search over the same
+        scripts curated by hand.  Ignored when the corpus is given
+        directly as scripts, an index, or a vocabulary.
+    verify_retrieval:
+        Debug mode: cross-check every LSH top-k retrieval against
+        brute-force signature similarity over the whole pool and raise
+        :class:`repro.corpus.RetrievalMismatchError` on any divergence
+        (exact comparison, including scores and tie order).  O(pool)
+        per query — it exists to audit the retrieval engine, not for
+        production.
     verify_kernels:
         Debug mode: shadow-run the naive row-at-a-time reference
         implementation alongside every minipandas columnar kernel
@@ -190,6 +206,8 @@ class LSConfig:
     worker_source_cache_limit: int = 256
     corpus_cache: bool = True
     verify_index: bool = False
+    retrieval_k: int = 20
+    verify_retrieval: bool = False
     verify_kernels: bool = False
 
     def __post_init__(self):
@@ -236,6 +254,8 @@ class LSConfig:
                 "worker_intent_cache_limit must be >= 1, "
                 f"got {self.worker_intent_cache_limit}"
             )
+        if self.retrieval_k < 1:
+            raise ValueError(f"retrieval_k must be >= 1, got {self.retrieval_k}")
         if self.worker_source_cache_limit < 1:
             raise ValueError(
                 "worker_source_cache_limit must be >= 1, "

@@ -18,6 +18,8 @@ from .._lru import LRUCache
 from ..corpus import (
     CorpusCacheCounters,
     CorpusIndex,
+    RetrievalCounters,
+    RetrievalIndex,
     cached_index,
     corpus_cache_counters,
 )
@@ -309,7 +311,11 @@ class LucidScript:
         Peer data-preparation scripts that process the same (or a
         similar) dataset.  Accepts raw source texts, a prebuilt
         :class:`repro.corpus.CorpusIndex` (e.g. loaded from a snapshot
-        and ``refresh()``-ed), or a ready :class:`CorpusVocabulary`.
+        and ``refresh()``-ed), a ready :class:`CorpusVocabulary`, or a
+        :class:`repro.corpus.RetrievalIndex` over a large script pool —
+        in which case curation is deferred and the working corpus is
+        the pool's ``config.retrieval_k`` nearest neighbours of each
+        query script (see ``_ensure_search_space``).
         Raw texts route through the process-wide content-addressed warm
         cache when ``config.corpus_cache`` is on, so repeated
         constructions over the same corpus skip the offline phase.
@@ -332,10 +338,24 @@ class LucidScript:
         config: Optional[LSConfig] = None,
     ):
         self.config = config or LSConfig()
-        # Offline phase (Section 5.1): curate the search space once —
-        # or adopt a prebuilt/warm-cached index, which is bit-identical.
-        self.vocabulary, self._corpus_counters = self._curate(corpus)
-        self.scorer = RelativeEntropyScorer(self.vocabulary)
+        self._retrieval: Optional[RetrievalIndex] = None
+        self._retrieval_query_hash: Optional[str] = None
+        self._retrieval_stats = RetrievalCounters()
+        if isinstance(corpus, RetrievalIndex):
+            # Retrieve-then-compute: the working corpus is a function of
+            # the query script, so curation defers to the first
+            # score()/standardize() call (see _ensure_search_space).
+            self._retrieval = corpus
+            self.vocabulary: Optional[CorpusVocabulary] = None
+            self.scorer: Optional[RelativeEntropyScorer] = None
+            self._corpus_counters = corpus_cache_counters().delta(
+                corpus_cache_counters()
+            )
+        else:
+            # Offline phase (Section 5.1): curate the search space once —
+            # or adopt a prebuilt/warm-cached index, which is bit-identical.
+            self.vocabulary, self._corpus_counters = self._curate(corpus)
+            self.scorer = RelativeEntropyScorer(self.vocabulary)
         self.data_dir = data_dir
         self.intent = intent
         self._executor: Optional[IncrementalExecutor] = None
@@ -368,6 +388,57 @@ class LucidScript:
         else:
             vocabulary = CorpusVocabulary.from_scripts(corpus)
         return vocabulary, corpus_cache_counters().delta(before)
+
+    def _ensure_search_space(self, script: str) -> None:
+        """Curate the retrieval-backed search space for *script*.
+
+        No-op unless this system was built over a
+        :class:`~repro.corpus.RetrievalIndex`.  The query script's
+        signature selects ``config.retrieval_k`` pool neighbours
+        (``config.verify_retrieval`` audits the selection against brute
+        force), the winners are assembled into a working
+        :class:`CorpusIndex` through the record-delta path, and scoring
+        proceeds exactly as with a hand-curated corpus.  The assembled
+        space is keyed by the query's content address, so repeated
+        calls over the same script reuse it and a different script
+        re-retrieves — cheaply, since top_k only touches candidates.
+        """
+        if self._retrieval is None:
+            return
+        record = self._retrieval.store.get_or_parse(script)
+        if record is None:
+            raise StandardizationError(
+                "input script does not parse, so no corpus can be retrieved for it"
+            )
+        if (
+            self._retrieval_query_hash == record.content_hash
+            and self.vocabulary is not None
+        ):
+            return
+        before = corpus_cache_counters()
+        counters_before = self._retrieval.counters.snapshot()
+        try:
+            corpus = self._retrieval.assemble(
+                record.signature,
+                self.config.retrieval_k,
+                verify=self.config.verify_retrieval,
+            )
+        except ScriptError as exc:
+            raise StandardizationError(
+                f"retrieval produced no working corpus: {exc}"
+            ) from exc
+        if self.config.verify_index:
+            corpus.verify()
+        self.vocabulary = corpus.to_vocabulary()
+        self.scorer = RelativeEntropyScorer(self.vocabulary)
+        self._corpus_counters = corpus_cache_counters().delta(before)
+        queries, candidates, fallbacks = self._retrieval.counters.snapshot()
+        self._retrieval_stats = RetrievalCounters(
+            queries=queries - counters_before[0],
+            candidates=candidates - counters_before[1],
+            fallbacks=fallbacks - counters_before[2],
+        )
+        self._retrieval_query_hash = record.content_hash
 
     def _prepared_intent(
         self, original_output: DataFrame, counters: IntentStats
@@ -426,7 +497,13 @@ class LucidScript:
 
     # ------------------------------------------------------------------ scoring
     def score(self, script: str) -> float:
-        """RE(s, S) of an arbitrary script against this corpus."""
+        """RE(s, S) of an arbitrary script against this corpus.
+
+        On the retrieval path the corpus itself is a function of the
+        script: the search space is (re)assembled from the pool's top-k
+        neighbours of *script* before scoring.
+        """
+        self._ensure_search_space(script)
         return self.scorer.score_dag(parse_script(script))
 
     # ------------------------------------------------------------- online phase
@@ -440,6 +517,7 @@ class LucidScript:
         dag = parse_script(normalized, lemmatized=True)
         if not dag.statements:
             raise StandardizationError("input script has no statements")
+        self._ensure_search_space(normalized)
         re_before = self.scorer.score_dag(dag)
 
         original_output = self._run(normalized)
@@ -494,15 +572,19 @@ class LucidScript:
     def _fold_corpus_stats(self, stats: SearchStats) -> None:
         """Surface the offline-phase warm-cache activity on SearchStats.
 
-        The counters were captured once at construction (the corpus is
-        curated exactly once per LucidScript), so every standardize()
-        call reports the same provenance: how this system's search
-        space was obtained — served whole from the index cache, from
-        content-addressed script records, or by actually reparsing.
+        The counters were captured when the search space was curated —
+        once at construction, or per retrieved query on the retrieval
+        path — and report how it was obtained: served whole from the
+        index cache, from content-addressed script records, by actually
+        reparsing, or assembled from top-k pool neighbours (query /
+        candidate / fallback counts).
         """
         stats.n_corpus_index_hits = self._corpus_counters.index_hits
         stats.n_corpus_script_hits = self._corpus_counters.script_hits
         stats.n_corpus_reparses = self._corpus_counters.script_parses
+        stats.n_retrieval_queries = self._retrieval_stats.queries
+        stats.n_retrieval_candidates = self._retrieval_stats.candidates
+        stats.n_retrieval_fallbacks = self._retrieval_stats.fallbacks
 
     @staticmethod
     def _fold_intent_stats(stats: SearchStats, counters: IntentStats) -> None:

@@ -1,44 +1,72 @@
 """Process-wide warm corpus cache.
 
-Two layers, both content-addressed:
+Three layers, all content-addressed:
 
 * a shared :class:`~repro.corpus.store.ScriptStore` — every unique
   corpus script is lemmatized and parsed at most once per process, no
   matter how many indexes or ``LucidScript`` instances reference it
-  (leave-one-out sweeps hit this layer N−1 times out of N);
+  (leave-one-out sweeps hit this layer N−1 times out of N).  The store
+  is *bounded* (:data:`SHARED_STORE_LIMIT` records, true-LRU) so a
+  long-lived serving process holds a ceiling's worth of the pool while
+  live indexes keep their own strong references to admitted records;
 * an LRU of assembled :class:`~repro.corpus.index.CorpusIndex` objects
-  keyed by the exact raw corpus sequence — a repeated
+  keyed by the corpus's *content addresses in corpus order* — a repeated
   ``LucidScript(corpus)`` construction over the same scripts skips even
-  the counter merging and goes straight to ``to_vocabulary()``.
+  the counter merging and goes straight to ``to_vocabulary()``.  Keys
+  are resolved through a script-text → address memo, so a warm lookup
+  hashes 40 bytes per script instead of the script itself;
+* a shared :class:`~repro.corpus.retrieval.RetrievalIndex` over the
+  shared store — the process-wide pool that ``top_k`` queries search,
+  populated once (e.g. by the harness prewarm or ``index retrieve``)
+  and reused by every request.
 
-Both layers only ever return structures that are bit-identical to a
+Every layer only ever returns structures that are bit-identical to a
 cold ``CorpusVocabulary.from_scripts`` build, so the cache is a pure
 speed knob (``LSConfig.corpus_cache``).
+
+The index-cache key is the *ordered* address sequence, NOT a sorted
+set: corpus order is semantic (it drives successor-Counter tie order,
+template preference, and position means, all of which ``to_vocabulary``
+reproduces bit-identically), so two orderings of the same scripts are
+genuinely different corpora and must not share a cache entry.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from hashlib import sha1
-from typing import Sequence, Tuple
+from typing import Optional, Sequence
 
 from .._lru import LRUCache
 from .index import CorpusIndex
+from .retrieval import RetrievalIndex
 from .store import ScriptStore
 
 __all__ = [
     "CorpusCacheCounters",
     "cached_index",
     "clear_corpus_cache",
+    "configure_shared_store",
     "corpus_cache_counters",
+    "shared_retrieval_index",
     "shared_store",
 ]
 
 #: Assembled indexes retained for identical corpus sequences.
 INDEX_CACHE_LIMIT = 8
+#: Default record bound of the process-wide shared store.
+SHARED_STORE_LIMIT = 4096
+#: Script-text → content-address memo entries (corpus-key fast path).
+ADDR_MEMO_LIMIT = 4 * SHARED_STORE_LIMIT
 
-_SHARED_STORE = ScriptStore()
+_SHARED_CAPACITY: Optional[int] = SHARED_STORE_LIMIT
+_SHARED_STORE = ScriptStore(capacity=_SHARED_CAPACITY)
+_SHARED_RETRIEVAL: Optional[RetrievalIndex] = None
 _INDEX_CACHE: LRUCache = LRUCache(INDEX_CACHE_LIMIT)
+#: raw script text -> content address (or ``"failed:"`` marker).  Keyed
+#: by the string itself: Python interns the hash in the str object, so a
+#: warm key computation never re-hashes script bytes.
+_ADDR_MEMO: LRUCache = LRUCache(ADDR_MEMO_LIMIT)
 
 
 @dataclass(frozen=True)
@@ -50,6 +78,9 @@ class CorpusCacheCounters:
     script_hits: int
     script_parses: int
     script_failures: int
+    script_evictions: int = 0  #: records dropped by the bounded shared store
+    key_fast: int = 0  #: corpus-key scripts resolved from the address memo
+    key_slow: int = 0  #: corpus-key scripts that had to be parsed/hashed
 
     def delta(self, earlier: "CorpusCacheCounters") -> "CorpusCacheCounters":
         return CorpusCacheCounters(
@@ -58,21 +89,78 @@ class CorpusCacheCounters:
             script_hits=self.script_hits - earlier.script_hits,
             script_parses=self.script_parses - earlier.script_parses,
             script_failures=self.script_failures - earlier.script_failures,
+            script_evictions=self.script_evictions - earlier.script_evictions,
+            key_fast=self.key_fast - earlier.key_fast,
+            key_slow=self.key_slow - earlier.key_slow,
         )
 
 
 def shared_store() -> ScriptStore:
-    """The process-wide content-addressed parse cache."""
+    """The process-wide content-addressed parse cache (LRU-bounded)."""
     return _SHARED_STORE
 
 
+def configure_shared_store(capacity: Optional[int]) -> ScriptStore:
+    """Rebound the shared store (None = unbounded) and reset the cache.
+
+    Rebuilds the store at the new capacity: changing the bound of a
+    live LRU mid-flight would make eviction order depend on when the
+    reconfiguration happened, so the warm layers restart cold instead.
+    """
+    global _SHARED_CAPACITY
+    _SHARED_CAPACITY = capacity
+    clear_corpus_cache()
+    return _SHARED_STORE
+
+
+def shared_retrieval_index() -> RetrievalIndex:
+    """The process-wide retrieval pool over the shared store.
+
+    Created lazily and empty; callers (harness prewarm, the CLI) add
+    pool scripts through the normal ``add_script`` delta path, and every
+    subsequent request shares the buckets.
+    """
+    global _SHARED_RETRIEVAL
+    if _SHARED_RETRIEVAL is None:
+        _SHARED_RETRIEVAL = RetrievalIndex(store=_SHARED_STORE)
+    return _SHARED_RETRIEVAL
+
+
+def _script_address(script: str) -> str:
+    """The content address of one raw corpus script (memoized).
+
+    On a memo miss the script is parsed *into the shared store*, so the
+    work is not wasted: the immediately following
+    ``CorpusIndex.from_scripts`` over the same sequence finds every
+    record already resident.  Unparseable scripts get a stable
+    ``failed:`` key derived from their raw bytes.
+    """
+    address = _ADDR_MEMO.get(script)
+    if address is not None:
+        _COUNTERS["key_fast"] += 1
+        return address
+    _COUNTERS["key_slow"] += 1
+    record = _SHARED_STORE.get_or_parse(script)
+    if record is not None:
+        address = record.content_hash
+    else:
+        address = "failed:" + sha1(script.encode()).hexdigest()
+    _ADDR_MEMO[script] = address
+    return address
+
+
 def _corpus_key(scripts: Sequence[str]) -> str:
+    """Cache key of one corpus: its content addresses, in corpus order."""
     digest = sha1()
     for script in scripts:
-        digest.update(script.encode())
+        digest.update(_script_address(script).encode())
         digest.update(b"\x00")
     digest.update(str(len(scripts)).encode())
     return digest.hexdigest()
+
+
+#: module-level counters that outlive individual cache objects
+_COUNTERS = {"key_fast": 0, "key_slow": 0}
 
 
 def cached_index(scripts: Sequence[str]) -> CorpusIndex:
@@ -100,13 +188,22 @@ def corpus_cache_counters() -> CorpusCacheCounters:
         script_hits=counters.hits,
         script_parses=counters.parses,
         script_failures=counters.failures,
+        script_evictions=counters.evictions,
+        key_fast=_COUNTERS["key_fast"],
+        key_slow=_COUNTERS["key_slow"],
     )
 
 
 def clear_corpus_cache() -> None:
-    """Drop both warm-cache layers (tests and memory-pressure hooks)."""
-    global _SHARED_STORE
-    _SHARED_STORE = ScriptStore()
+    """Drop every warm-cache layer (tests and memory-pressure hooks)."""
+    global _SHARED_STORE, _SHARED_RETRIEVAL
+    _SHARED_STORE = ScriptStore(capacity=_SHARED_CAPACITY)
+    _SHARED_RETRIEVAL = None
     _INDEX_CACHE.clear()
     _INDEX_CACHE.hits = 0
     _INDEX_CACHE.misses = 0
+    _ADDR_MEMO.clear()
+    _ADDR_MEMO.hits = 0
+    _ADDR_MEMO.misses = 0
+    _COUNTERS["key_fast"] = 0
+    _COUNTERS["key_slow"] = 0

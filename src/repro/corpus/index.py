@@ -1,11 +1,22 @@
 """Incremental corpus index — the offline phase as a long-lived asset.
 
+Two layers live here.  :class:`MembershipIndex` is the shared membership
+engine: an ordered multiset of scripts (insertion order IS the corpus
+order) resolved through a content-addressed :class:`ScriptStore`, with
+``add_script``/``remove_script``/``refresh`` as pure deltas and a
+directory manifest (per-file ``(mtime_ns, size, sha1)``) so a refresh
+reparses only files whose bytes actually changed.  Derived state is
+delegated to subclass hooks: :class:`CorpusIndex` maintains the exact
+``CorpusVocabulary`` sufficient statistics, and
+:class:`~repro.corpus.retrieval.RetrievalIndex` maintains LSH band
+buckets and schema postings over the same membership contract.
+
 :class:`CorpusIndex` maintains exactly the sufficient statistics that
 :class:`~repro.lang.vocabulary.CorpusVocabulary` derives from a corpus —
 edge/1-gram/n-gram counters, successor adjacency, statement templates,
-relative positions, per-script n-gram frequency — under
-``add_script``/``remove_script``/``refresh`` membership changes, each
-costing O(changed script) instead of a full corpus reparse.
+relative positions, per-script n-gram frequency — under membership
+changes, each costing O(changed script) instead of a full corpus
+reparse.
 
 The equivalence contract is *bit-identity*: after any interleaving of
 mutations, :meth:`CorpusIndex.to_vocabulary` equals
@@ -35,7 +46,7 @@ from ..lang.errors import ScriptError
 from ..lang.vocabulary import CorpusStats, CorpusVocabulary
 from .store import ScriptRecord, ScriptStore
 
-__all__ = ["CorpusIndex", "IndexMismatchError", "RefreshReport"]
+__all__ = ["CorpusIndex", "IndexMismatchError", "MembershipIndex", "RefreshReport"]
 
 
 class IndexMismatchError(RuntimeError):
@@ -46,7 +57,7 @@ class IndexMismatchError(RuntimeError):
 
 @dataclass
 class RefreshReport:
-    """Outcome of one :meth:`CorpusIndex.refresh` directory scan."""
+    """Outcome of one :meth:`MembershipIndex.refresh` directory scan."""
 
     scanned: int = 0
     added: int = 0
@@ -81,8 +92,14 @@ class _FileEntry:
     size: int
 
 
-class CorpusIndex:
-    """Exact, incrementally maintained corpus sufficient statistics."""
+class MembershipIndex:
+    """Ordered script membership over a content-addressed store.
+
+    Subclasses override :meth:`_apply` / :meth:`_retract` to maintain
+    their derived state as pure deltas; everything about *which* scripts
+    are members — ids, ordering, refcounts, per-index strong record
+    references, and the stat-scan refresh protocol — lives here once.
+    """
 
     def __init__(self, store: Optional[ScriptStore] = None):
         self.store = store if store is not None else ScriptStore()
@@ -94,25 +111,6 @@ class CorpusIndex:
         self._refcounts: Counter = Counter()
         self.n_failures = 0
 
-        # aggregate counters (zero entries pruned on removal)
-        self.edge_counts: Counter = Counter()
-        self.onegram_counts: Counter = Counter()
-        self.ngram_counts: Counter = Counter()
-        self._total_statements = 0
-
-        # posting lists: signature -> member ids contributing to it
-        self._succ_members: Dict[str, Set[int]] = {}
-        self._template_members: Dict[str, Set[int]] = {}
-        self._position_members: Dict[str, Set[int]] = {}
-
-        # lazily rebuilt derived structures + their dirty sets
-        self._successors: Dict[str, Counter] = {}
-        self._templates: Dict[str, str] = {}
-        self._positions: Dict[str, float] = {}
-        self._dirty_succ: Set[str] = set()
-        self._dirty_templates: Set[str] = set()
-        self._dirty_positions: Set[str] = set()
-
         # directory manifest (refresh protocol)
         self.corpus_dir: Optional[str] = None
         self._files: Dict[str, _FileEntry] = {}
@@ -121,7 +119,7 @@ class CorpusIndex:
     @classmethod
     def from_scripts(
         cls, scripts: Iterable[str], store: Optional[ScriptStore] = None
-    ) -> "CorpusIndex":
+    ) -> "MembershipIndex":
         """Index raw script sources, mirroring
         :meth:`CorpusVocabulary.from_scripts` semantics: unparseable
         scripts are skipped, an all-broken corpus raises ScriptError."""
@@ -165,8 +163,17 @@ class CorpusIndex:
             return None
         return self._admit(record)
 
+    def add_record(self, record: ScriptRecord) -> int:
+        """Admit a prebuilt record through the normal delta path.
+
+        The retrieval layer assembles working corpora this way: top-k
+        records (already resident in a store) become a
+        :class:`CorpusIndex` without any source text round-trip.
+        """
+        return self._admit(record)
+
     def _admit(self, record: ScriptRecord, script_id: Optional[int] = None) -> int:
-        """Apply one record's count contributions under a new member id.
+        """Apply one record's contributions under a new member id.
 
         ``script_id`` is only passed by the snapshot loader, which must
         preserve saved ids (the manifest references them); live adds
@@ -180,7 +187,171 @@ class CorpusIndex:
         self._members[script_id] = record.content_hash
         self._refcounts[record.content_hash] += 1
         self._records.setdefault(record.content_hash, record)
+        self._apply(record, script_id)
+        return script_id
 
+    def remove_script(self, script_id: int) -> None:
+        """Retract one member's contributions (O(changed script))."""
+        try:
+            content_hash = self._members.pop(script_id)
+        except KeyError:
+            raise KeyError(f"unknown script id: {script_id}") from None
+        record = self._records[content_hash]
+        self._refcounts[content_hash] -= 1
+        if not self._refcounts[content_hash]:
+            del self._refcounts[content_hash]
+            del self._records[content_hash]
+        self._retract(record, script_id)
+
+    # ------------------------------------------------------------------- hooks
+    def _apply(self, record: ScriptRecord, script_id: int) -> None:
+        """Fold one new member's contributions into derived state."""
+
+    def _retract(self, record: ScriptRecord, script_id: int) -> None:
+        """Retract one removed member's contributions from derived state.
+
+        Runs *after* the membership bookkeeping: when the removed member
+        was the last reference to its content hash, the hash is already
+        absent from ``_refcounts`` / ``_records``.
+        """
+
+    # ----------------------------------------------------------------- refresh
+    def refresh(self, corpus_dir: Optional[str] = None) -> RefreshReport:
+        """Reconcile the index with a corpus directory, O(changed files).
+
+        The manifest keeps ``(mtime_ns, size, sha1)`` per file: a file
+        whose stat signature matches is skipped without being read; one
+        whose bytes hash to the recorded sha is touched without being
+        parsed; only genuinely new or changed files reach the parser —
+        and even those hit the content-addressed store when their
+        *lemmatized* text is already known.
+        """
+        directory = corpus_dir or self.corpus_dir
+        if directory is None:
+            raise ValueError("no corpus directory: pass corpus_dir or set one")
+        self.corpus_dir = directory
+        report = RefreshReport()
+        parses_before = self.store.counters.parses
+
+        seen: Set[str] = set()
+        for name in self._scan(directory):
+            report.scanned += 1
+            path = os.path.join(directory, name)
+            try:
+                stat = os.stat(path)
+            except OSError:
+                continue  # raced deletion; handled as a removal below
+            seen.add(name)
+            entry = self._files.get(name)
+            if (
+                entry is not None
+                and entry.mtime_ns == stat.st_mtime_ns
+                and entry.size == stat.st_size
+            ):
+                report.unchanged_stat += 1
+                continue
+            try:
+                with open(path, "rb") as handle:
+                    raw_bytes = handle.read()
+            except OSError:
+                continue
+            raw_sha = sha1(raw_bytes).hexdigest()
+            if entry is not None and entry.raw_sha == raw_sha:
+                entry.mtime_ns = stat.st_mtime_ns
+                entry.size = stat.st_size
+                report.unchanged_hash += 1
+                continue
+            # genuinely new or changed content
+            if entry is not None and entry.script_id is not None:
+                self.remove_script(entry.script_id)
+            source = self._load_source(name, raw_bytes, report)
+            script_id = self.add_script(source) if source is not None else None
+            if script_id is None and source is not None:
+                report.failed += 1
+                report.failed_paths.append(name)
+            self._files[name] = _FileEntry(
+                script_id=script_id,
+                raw_sha=raw_sha,
+                mtime_ns=stat.st_mtime_ns,
+                size=stat.st_size,
+            )
+            if entry is None:
+                report.added += 1
+            else:
+                report.changed += 1
+
+        for name in list(self._files):
+            if name not in seen:
+                entry = self._files.pop(name)
+                if entry.script_id is not None:
+                    self.remove_script(entry.script_id)
+                report.removed += 1
+
+        report.reparsed = self.store.counters.parses - parses_before
+        return report
+
+    @staticmethod
+    def _scan(directory: str) -> List[str]:
+        """Corpus file names (relative), .py then .ipynb, each sorted —
+        the same order :func:`repro.cli._read_corpus` loads them in."""
+        try:
+            names = os.listdir(directory)
+        except OSError as exc:
+            raise ValueError(f"cannot scan corpus directory {directory!r}: {exc}")
+        py = sorted(n for n in names if n.endswith(".py"))
+        nb = sorted(n for n in names if n.endswith(".ipynb"))
+        return py + nb
+
+    @staticmethod
+    def _load_source(name: str, raw_bytes: bytes, report: RefreshReport) -> Optional[str]:
+        """Decode a corpus file into script text (flattening notebooks)."""
+        try:
+            text = raw_bytes.decode("utf-8")
+        except UnicodeDecodeError:
+            report.failed += 1
+            report.failed_paths.append(name)
+            return None
+        if not name.endswith(".ipynb"):
+            return text
+        import json
+
+        from ..lang.notebooks import script_from_notebook
+
+        try:
+            return script_from_notebook(json.loads(text))
+        except (ValueError, json.JSONDecodeError):
+            report.failed += 1
+            report.failed_paths.append(name)
+            return None
+
+
+class CorpusIndex(MembershipIndex):
+    """Exact, incrementally maintained corpus sufficient statistics."""
+
+    def __init__(self, store: Optional[ScriptStore] = None):
+        super().__init__(store=store)
+
+        # aggregate counters (zero entries pruned on removal)
+        self.edge_counts: Counter = Counter()
+        self.onegram_counts: Counter = Counter()
+        self.ngram_counts: Counter = Counter()
+        self._total_statements = 0
+
+        # posting lists: signature -> member ids contributing to it
+        self._succ_members: Dict[str, Set[int]] = {}
+        self._template_members: Dict[str, Set[int]] = {}
+        self._position_members: Dict[str, Set[int]] = {}
+
+        # lazily rebuilt derived structures + their dirty sets
+        self._successors: Dict[str, Counter] = {}
+        self._templates: Dict[str, str] = {}
+        self._positions: Dict[str, float] = {}
+        self._dirty_succ: Set[str] = set()
+        self._dirty_templates: Set[str] = set()
+        self._dirty_positions: Set[str] = set()
+
+    # ------------------------------------------------------------------- hooks
+    def _apply(self, record: ScriptRecord, script_id: int) -> None:
         self.edge_counts.update(record.edge_counts)
         self.onegram_counts.update(record.onegram_counts)
         self.ngram_counts.update(record.ngram_counts)
@@ -195,20 +366,8 @@ class CorpusIndex:
         for sig in record.position_lists:
             self._position_members.setdefault(sig, set()).add(script_id)
             self._dirty_positions.add(sig)
-        return script_id
 
-    def remove_script(self, script_id: int) -> None:
-        """Retract one member's count contributions (O(changed script))."""
-        try:
-            content_hash = self._members.pop(script_id)
-        except KeyError:
-            raise KeyError(f"unknown script id: {script_id}") from None
-        record = self._records[content_hash]
-        self._refcounts[content_hash] -= 1
-        if not self._refcounts[content_hash]:
-            del self._refcounts[content_hash]
-            del self._records[content_hash]
-
+    def _retract(self, record: ScriptRecord, script_id: int) -> None:
         self._subtract(self.edge_counts, record.edge_counts)
         self._subtract(self.onegram_counts, record.onegram_counts)
         self._subtract(self.ngram_counts, record.ngram_counts)
@@ -375,112 +534,3 @@ class CorpusIndex:
             raise IndexMismatchError(
                 f"incremental index diverged from from-scratch rebuild on {what}"
             )
-
-    # ----------------------------------------------------------------- refresh
-    def refresh(self, corpus_dir: Optional[str] = None) -> RefreshReport:
-        """Reconcile the index with a corpus directory, O(changed files).
-
-        The manifest keeps ``(mtime_ns, size, sha1)`` per file: a file
-        whose stat signature matches is skipped without being read; one
-        whose bytes hash to the recorded sha is touched without being
-        parsed; only genuinely new or changed files reach the parser —
-        and even those hit the content-addressed store when their
-        *lemmatized* text is already known.
-        """
-        directory = corpus_dir or self.corpus_dir
-        if directory is None:
-            raise ValueError("no corpus directory: pass corpus_dir or set one")
-        self.corpus_dir = directory
-        report = RefreshReport()
-        parses_before = self.store.counters.parses
-
-        seen: Set[str] = set()
-        for name in self._scan(directory):
-            report.scanned += 1
-            path = os.path.join(directory, name)
-            try:
-                stat = os.stat(path)
-            except OSError:
-                continue  # raced deletion; handled as a removal below
-            seen.add(name)
-            entry = self._files.get(name)
-            if (
-                entry is not None
-                and entry.mtime_ns == stat.st_mtime_ns
-                and entry.size == stat.st_size
-            ):
-                report.unchanged_stat += 1
-                continue
-            try:
-                with open(path, "rb") as handle:
-                    raw_bytes = handle.read()
-            except OSError:
-                continue
-            raw_sha = sha1(raw_bytes).hexdigest()
-            if entry is not None and entry.raw_sha == raw_sha:
-                entry.mtime_ns = stat.st_mtime_ns
-                entry.size = stat.st_size
-                report.unchanged_hash += 1
-                continue
-            # genuinely new or changed content
-            if entry is not None and entry.script_id is not None:
-                self.remove_script(entry.script_id)
-            source = self._load_source(name, raw_bytes, report)
-            script_id = self.add_script(source) if source is not None else None
-            if script_id is None and source is not None:
-                report.failed += 1
-                report.failed_paths.append(name)
-            self._files[name] = _FileEntry(
-                script_id=script_id,
-                raw_sha=raw_sha,
-                mtime_ns=stat.st_mtime_ns,
-                size=stat.st_size,
-            )
-            if entry is None:
-                report.added += 1
-            else:
-                report.changed += 1
-
-        for name in list(self._files):
-            if name not in seen:
-                entry = self._files.pop(name)
-                if entry.script_id is not None:
-                    self.remove_script(entry.script_id)
-                report.removed += 1
-
-        report.reparsed = self.store.counters.parses - parses_before
-        return report
-
-    @staticmethod
-    def _scan(directory: str) -> List[str]:
-        """Corpus file names (relative), .py then .ipynb, each sorted —
-        the same order :func:`repro.cli._read_corpus` loads them in."""
-        try:
-            names = os.listdir(directory)
-        except OSError as exc:
-            raise ValueError(f"cannot scan corpus directory {directory!r}: {exc}")
-        py = sorted(n for n in names if n.endswith(".py"))
-        nb = sorted(n for n in names if n.endswith(".ipynb"))
-        return py + nb
-
-    @staticmethod
-    def _load_source(name: str, raw_bytes: bytes, report: RefreshReport) -> Optional[str]:
-        """Decode a corpus file into script text (flattening notebooks)."""
-        try:
-            text = raw_bytes.decode("utf-8")
-        except UnicodeDecodeError:
-            report.failed += 1
-            report.failed_paths.append(name)
-            return None
-        if not name.endswith(".ipynb"):
-            return text
-        import json
-
-        from ..lang.notebooks import script_from_notebook
-
-        try:
-            return script_from_notebook(json.loads(text))
-        except (ValueError, json.JSONDecodeError):
-            report.failed += 1
-            report.failed_paths.append(name)
-            return None

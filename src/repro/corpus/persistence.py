@@ -19,10 +19,21 @@ from collections import Counter
 from typing import Dict, Optional
 
 from ..lang.persistence import check_format_version
-from .index import CorpusIndex, _FileEntry
+from .index import CorpusIndex, MembershipIndex, _FileEntry
+from .retrieval import RetrievalIndex
+from .signatures import signature_from_dict, signature_from_source, signature_to_dict
 from .store import ScriptRecord, ScriptStore
 
-__all__ = ["save_index", "load_index", "index_to_dict", "index_from_dict"]
+__all__ = [
+    "save_index",
+    "load_index",
+    "save_retrieval_index",
+    "load_retrieval_index",
+    "index_to_dict",
+    "index_from_dict",
+    "retrieval_index_to_dict",
+    "retrieval_index_from_dict",
+]
 
 _INDEX_FORMAT_VERSION = 1
 
@@ -43,10 +54,21 @@ def _record_to_dict(record: ScriptRecord) -> dict:
             for sig, (first_df, first_any) in record.template_slots.items()
         },
         "position_lists": record.position_lists,
+        "signature": signature_to_dict(record.signature),
     }
 
 
 def _record_from_dict(content_hash: str, payload: dict) -> ScriptRecord:
+    onegram_counts = Counter(payload["onegram_counts"])
+    saved_signature = payload.get("signature")
+    if saved_signature is not None:
+        signature = signature_from_dict(content_hash, saved_signature)
+    else:
+        # pre-retrieval snapshot: the signature is a pure function of the
+        # persisted source + 1-grams, so recompute bit-identically
+        signature = signature_from_source(
+            content_hash, payload["source"], onegram_counts
+        )
     return ScriptRecord(
         content_hash=content_hash,
         source=payload["source"],
@@ -54,7 +76,7 @@ def _record_from_dict(content_hash: str, payload: dict) -> ScriptRecord:
         edge_counts=Counter(
             {(s, t): c for s, t, c in payload["edge_counts"]}
         ),
-        onegram_counts=Counter(payload["onegram_counts"]),
+        onegram_counts=onegram_counts,
         ngram_counts=Counter(payload["ngram_counts"]),
         successors_by_source={
             sig: list(targets)
@@ -67,13 +89,21 @@ def _record_from_dict(content_hash: str, payload: dict) -> ScriptRecord:
             sig: [float(v) for v in values]
             for sig, values in payload["position_lists"].items()
         },
+        signature=signature,
     )
 
 
-def index_to_dict(index: CorpusIndex) -> dict:
-    """JSON-serializable snapshot: records + membership + manifest."""
+def index_to_dict(index: MembershipIndex) -> dict:
+    """JSON-serializable snapshot: records + membership + manifest.
+
+    Works for any :class:`MembershipIndex` — the snapshot carries only
+    membership-layer state (records, member order, manifest), because
+    every subclass rebuilds its derived structures by re-admitting the
+    members through the live delta path on load.
+    """
     return {
         "format_version": _INDEX_FORMAT_VERSION,
+        "kind": "retrieval" if isinstance(index, RetrievalIndex) else "corpus",
         "corpus_dir": index.corpus_dir,
         "n_failures": index.n_failures,
         "members": [
@@ -96,18 +126,13 @@ def index_to_dict(index: CorpusIndex) -> dict:
     }
 
 
-def index_from_dict(payload: dict, store: Optional[ScriptStore] = None) -> CorpusIndex:
-    """Rebuild an index from its snapshot without reparsing anything.
+def _restore_members(index: MembershipIndex, payload: dict) -> None:
+    """Re-admit a snapshot's members through the live delta path.
 
-    Members are re-admitted through the normal delta path (in saved
-    order, with their saved ids), so every aggregate and derived
-    structure is reconstructed by the same code that maintains them
-    live — there is no second, drift-prone restore path.
+    In saved order, with their saved ids, so every aggregate and
+    derived structure is reconstructed by the same code that maintains
+    them live — there is no second, drift-prone restore path.
     """
-    check_format_version(
-        payload.get("format_version"), _INDEX_FORMAT_VERSION, "corpus index"
-    )
-    index = CorpusIndex(store=store)
     records: Dict[str, ScriptRecord] = {
         content_hash: _record_from_dict(content_hash, record_payload)
         for content_hash, record_payload in payload["records"].items()
@@ -125,6 +150,46 @@ def index_from_dict(payload: dict, store: Optional[ScriptStore] = None) -> Corpu
             mtime_ns=int(entry["mtime_ns"]),
             size=int(entry["size"]),
         )
+
+
+def index_from_dict(payload: dict, store: Optional[ScriptStore] = None) -> CorpusIndex:
+    """Rebuild a :class:`CorpusIndex` from its snapshot, reparsing nothing."""
+    check_format_version(
+        payload.get("format_version"), _INDEX_FORMAT_VERSION, "corpus index"
+    )
+    if payload.get("kind", "corpus") != "corpus":
+        raise ValueError(
+            f"snapshot holds a {payload['kind']!r} index, not a corpus index"
+        )
+    index = CorpusIndex(store=store)
+    _restore_members(index, payload)
+    return index
+
+
+def retrieval_index_to_dict(index: RetrievalIndex) -> dict:
+    """JSON-serializable snapshot of a retrieval pool index."""
+    return index_to_dict(index)
+
+
+def retrieval_index_from_dict(
+    payload: dict, store: Optional[ScriptStore] = None
+) -> RetrievalIndex:
+    """Rebuild a :class:`RetrievalIndex` from its snapshot.
+
+    Signatures ride the persisted records (recomputed when loading a
+    pre-retrieval snapshot), so the band buckets and schema postings are
+    rebuilt without lemmatizing or parsing anything.
+    """
+    check_format_version(
+        payload.get("format_version"), _INDEX_FORMAT_VERSION, "retrieval index"
+    )
+    if payload.get("kind", "corpus") != "retrieval":
+        raise ValueError(
+            f"snapshot holds a {payload.get('kind', 'corpus')!r} index, "
+            "not a retrieval index"
+        )
+    index = RetrievalIndex(store=store)
+    _restore_members(index, payload)
     return index
 
 
@@ -138,3 +203,15 @@ def load_index(path: str, store: Optional[ScriptStore] = None) -> CorpusIndex:
     """Load a snapshot previously written by :func:`save_index`."""
     with open(path, "r") as handle:
         return index_from_dict(json.load(handle), store=store)
+
+
+def save_retrieval_index(index: RetrievalIndex, path: str) -> None:
+    """Write a retrieval-pool snapshot to *path* as JSON."""
+    with open(path, "w") as handle:
+        json.dump(retrieval_index_to_dict(index), handle, indent=1)
+
+
+def load_retrieval_index(path: str, store: Optional[ScriptStore] = None) -> RetrievalIndex:
+    """Load a snapshot previously written by :func:`save_retrieval_index`."""
+    with open(path, "r") as handle:
+        return retrieval_index_from_dict(json.load(handle), store=store)

@@ -1,0 +1,266 @@
+"""Sub-linear corpus retrieval: LSH top-k over script signatures.
+
+The paper assumes a curated per-dataset corpus; at service scale there
+is instead one giant pool of scripts across thousands of datasets, and
+assembling a working corpus by touching every candidate is O(pool) per
+request.  This module is the retrieve-then-compute half of that
+architecture: a :class:`RetrievalIndex` holds only the cheap
+:class:`~repro.corpus.signatures.ScriptSignature` of each pool script —
+LSH band buckets over the minhash plus schema-token postings — and
+answers ``top_k(query, k)`` by scoring just the scripts sharing a band
+or a schema token with the query, then hands the winners to the exact
+engine as a :class:`~repro.corpus.index.CorpusIndex` built through the
+ordinary record-delta path.  Downstream stays bit-identical: the
+assembled corpus is a real index over real records, and a search over
+it equals a search over the same scripts curated by hand.
+
+Exactness, not approximation: :func:`signature_similarity` scores a
+pair 0 unless the two signatures share a full LSH band or a schema
+token, which is precisely the candidate-generation event.  The
+candidate set therefore *equals* the positive-similarity set, and
+``top_k`` equals brute force over the whole pool (ties broken by
+content address, so results are deterministic across runs and
+platforms).  ``verify_retrieval`` (:meth:`RetrievalIndex.top_k` with
+``verify=True``) audits the equality per query the way
+``verify_scoring``/``verify_index`` audit their engines, raising
+:class:`RetrievalMismatchError` on any divergence.
+
+Membership rides :class:`~repro.corpus.index.MembershipIndex`: add /
+remove / directory ``refresh`` are pure deltas (bucket edits on the
+refcount edges), so the pool index persists through the same snapshot +
+stat-scan machinery as the corpus index (see
+:func:`repro.corpus.persistence.save_retrieval_index`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from ..lang.errors import ScriptError
+from .index import CorpusIndex, MembershipIndex
+from .signatures import (
+    ScriptSignature,
+    band_keys,
+    signature_similarity,
+    table_signature,
+)
+from .store import ScriptRecord, ScriptStore
+
+__all__ = [
+    "RetrievalCounters",
+    "RetrievalIndex",
+    "RetrievalMismatchError",
+    "RetrievedScript",
+]
+
+
+class RetrievalMismatchError(RuntimeError):
+    """Raised by the ``verify_retrieval`` audit when the LSH candidate
+    path diverges from brute-force signature similarity (an engine bug,
+    never a legitimate runtime condition)."""
+
+
+@dataclass(frozen=True)
+class RetrievedScript:
+    """One top-k hit: a pool script and its similarity to the query."""
+
+    content_hash: str
+    score: float
+    record: ScriptRecord
+
+
+@dataclass
+class RetrievalCounters:
+    """Observable work done by one :class:`RetrievalIndex`."""
+
+    queries: int = 0
+    candidates: int = 0  #: signatures actually scored across all queries
+    fallbacks: int = 0  #: full scans taken because candidates < k
+
+    def snapshot(self) -> Tuple[int, int, int]:
+        return (self.queries, self.candidates, self.fallbacks)
+
+
+#: Accepted query forms: a raw script text, a table (anything with a
+#: ``columns`` attribute, e.g. a minipandas DataFrame), or a prebuilt
+#: signature.
+Query = Union[str, ScriptSignature, object]
+
+
+class RetrievalIndex(MembershipIndex):
+    """LSH-banded top-k similarity search over a pool of scripts.
+
+    The derived state is one signature per *unique* script plus two
+    inverted structures — band buckets keyed by ``(band, row values…)``
+    and schema-token postings — maintained on the refcount edges of the
+    shared membership machinery: duplicates of a script in the pool
+    change nothing (retrieval is about *which* scripts exist, not how
+    often), and removal only unhooks a signature when its last member
+    leaves.
+    """
+
+    def __init__(self, store: Optional[ScriptStore] = None):
+        super().__init__(store=store)
+        self._signatures: Dict[str, ScriptSignature] = {}
+        self._bands: Dict[Tuple[int, ...], Set[str]] = {}
+        self._schema_posts: Dict[str, Set[str]] = {}
+        self.counters = RetrievalCounters()
+
+    # ------------------------------------------------------------------- hooks
+    def _apply(self, record: ScriptRecord, script_id: int) -> None:
+        if self._refcounts[record.content_hash] != 1:
+            return  # duplicate member of an already-bucketed script
+        signature = record.signature
+        self._signatures[record.content_hash] = signature
+        for key in band_keys(signature.minhash):
+            self._bands.setdefault(key, set()).add(record.content_hash)
+        for token in signature.schema:
+            self._schema_posts.setdefault(token, set()).add(record.content_hash)
+
+    def _retract(self, record: ScriptRecord, script_id: int) -> None:
+        if record.content_hash in self._refcounts:
+            return  # other members still reference this script
+        signature = self._signatures.pop(record.content_hash)
+        for key in band_keys(signature.minhash):
+            bucket = self._bands.get(key)
+            if bucket is not None:
+                bucket.discard(record.content_hash)
+                if not bucket:
+                    del self._bands[key]
+        for token in signature.schema:
+            posting = self._schema_posts.get(token)
+            if posting is not None:
+                posting.discard(record.content_hash)
+                if not posting:
+                    del self._schema_posts[token]
+
+    # ----------------------------------------------------------------- queries
+    def query_signature(self, query: Query) -> ScriptSignature:
+        """Resolve any accepted query form to a :class:`ScriptSignature`.
+
+        Raw script texts go through the store (so repeated queries parse
+        once and the signature is the content-addressed one); tables
+        reduce to their column names via :func:`table_signature`.
+        """
+        if isinstance(query, ScriptSignature):
+            return query
+        if isinstance(query, str):
+            record = self.store.get_or_parse(query)
+            if record is None:
+                raise ScriptError("retrieval query script does not parse")
+            return record.signature
+        columns = getattr(query, "columns", None)
+        if columns is not None:
+            return table_signature(columns)
+        raise TypeError(
+                f"unsupported retrieval query type: {type(query).__name__} "
+                "(expected script text, table, or ScriptSignature)"
+        )
+
+    def _scored(self, signature: ScriptSignature, hashes) -> List[RetrievedScript]:
+        hits = [
+            RetrievedScript(
+                content_hash=content_hash,
+                score=signature_similarity(signature, self._signatures[content_hash]),
+                record=self._records[content_hash],
+            )
+            for content_hash in hashes
+        ]
+        hits.sort(key=lambda hit: (-hit.score, hit.content_hash))
+        return hits
+
+    def top_k(self, query: Query, k: int, verify: bool = False) -> List[RetrievedScript]:
+        """The *k* pool scripts most similar to *query*, best first.
+
+        Candidates are the union of the query's LSH band buckets and
+        schema postings; because :func:`signature_similarity` is gated
+        on exactly those two events, this set contains every script
+        with positive similarity and the result equals
+        :meth:`brute_force_top_k`.  When fewer than *k* candidates
+        surface, the scan falls back to the whole pool (counted in
+        ``counters.fallbacks``) so the result is still k-deep, padded
+        with zero-similarity scripts in content-address order.
+
+        With ``verify=True`` (the ``verify_retrieval`` audit mode) the
+        brute-force ranking is computed alongside and any divergence
+        raises :class:`RetrievalMismatchError`.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        signature = self.query_signature(query)
+        self.counters.queries += 1
+        candidates: Set[str] = set()
+        for key in band_keys(signature.minhash):
+            candidates.update(self._bands.get(key, ()))
+        for token in signature.schema:
+            candidates.update(self._schema_posts.get(token, ()))
+        if len(candidates) < min(k, len(self._signatures)):
+            candidates = set(self._signatures)
+            self.counters.fallbacks += 1
+        self.counters.candidates += len(candidates)
+        hits = self._scored(signature, candidates)[:k]
+        if verify:
+            self._audit(signature, k, hits)
+        return hits
+
+    def brute_force_top_k(self, query: Query, k: int) -> List[RetrievedScript]:
+        """Reference ranking: score every pool script, no index used."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        signature = self.query_signature(query)
+        return self._scored(signature, self._signatures)[:k]
+
+    def _audit(
+        self, signature: ScriptSignature, k: int, hits: Sequence[RetrievedScript]
+    ) -> None:
+        expected = self.brute_force_top_k(signature, k)
+        got = [(hit.content_hash, hit.score) for hit in hits]
+        want = [(hit.content_hash, hit.score) for hit in expected]
+        if got != want:
+            missed = [pair for pair in want if pair not in got]
+            raise RetrievalMismatchError(
+                "verify_retrieval: LSH top-k diverged from brute-force "
+                f"signature similarity; missed {missed[:3]!r} "
+                f"(k={k}, pool={len(self._signatures)})"
+            )
+
+    # ---------------------------------------------------------------- assembly
+    def assemble(
+        self,
+        query: Query,
+        k: int,
+        store: Optional[ScriptStore] = None,
+        verify: bool = False,
+    ) -> CorpusIndex:
+        """Retrieve top-*k* and build the working :class:`CorpusIndex`.
+
+        The winners are admitted through the normal record-delta path in
+        retrieval order (score-descending, content-address tie-break),
+        so the assembled corpus — and everything downstream of its
+        vocabulary — is a deterministic function of (pool, query, k).
+        """
+        return self.assemble_from_hits(self.top_k(query, k, verify=verify), store=store)
+
+    def assemble_from_hits(
+        self, hits: Sequence[RetrievedScript], store: Optional[ScriptStore] = None
+    ) -> CorpusIndex:
+        """A working corpus over already-retrieved hits (no reparse)."""
+        if not hits:
+            raise ScriptError("retrieval returned no scripts to assemble a corpus from")
+        corpus = CorpusIndex(store=store if store is not None else self.store)
+        for hit in hits:
+            corpus.add_record(hit.record)
+        return corpus
+
+    # ------------------------------------------------------------------- stats
+    def stats(self) -> Dict[str, int]:
+        return {
+            "n_scripts": len(self._members),
+            "n_unique_scripts": len(self._signatures),
+            "n_band_buckets": len(self._bands),
+            "n_schema_tokens": len(self._schema_posts),
+            "queries": self.counters.queries,
+            "candidates": self.counters.candidates,
+            "fallbacks": self.counters.fallbacks,
+        }

@@ -1,0 +1,312 @@
+"""Cheap per-script retrieval signatures (minhash, vocabulary, schema).
+
+The retrieval layer (:mod:`repro.corpus.retrieval`) needs to compare a
+query against a pool of thousands of scripts without touching their ASTs.
+Each script is therefore summarized once — at
+:meth:`~repro.corpus.store.ScriptStore` parse time — into a
+:class:`ScriptSignature` built entirely from the lemmatized canonical
+text and the script's 1-gram atoms:
+
+* **minhash** over shingles of the lemmatized statement stream (each
+  statement line, each window of :data:`SHINGLE_WINDOW` consecutive
+  lines, and each 1-gram atom signature), permuted by
+  :data:`NUM_PERM` fixed universal-hash functions.  Banded into
+  :data:`LSH_BANDS` bands of ``NUM_PERM // LSH_BANDS`` rows for
+  locality-sensitive bucketing;
+* a **vocabulary fingerprint** — the set of 1-gram atom signatures —
+  whose exact Jaccard overlap refines ranking among candidates;
+* **schema tokens** — the string constants the script touches (column
+  names, CSV paths), the dataset-overlap feature that also lets a bare
+  *table* act as a query;
+* a **phase histogram** over the canonical preparation-phase order of
+  :data:`repro.workloads.schemas.GROUPS` (impute → clean → filter →
+  feature → encode → split), comparing the *shape* of two preparations.
+
+Everything here is a pure function of the lemmatized source, so
+signatures are content-addressed alongside their records: equal scripts
+have equal signatures, and a signature persisted in a snapshot is
+bit-identical to one recomputed from the source.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass
+from hashlib import blake2b
+from math import sqrt
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from ..workloads.schemas import GROUPS
+
+__all__ = [
+    "LSH_BANDS",
+    "LSH_ROWS",
+    "NUM_PERM",
+    "SHINGLE_WINDOW",
+    "ScriptSignature",
+    "band_keys",
+    "bands_collide",
+    "minhash_signature",
+    "script_shingles",
+    "signature_from_source",
+    "signature_similarity",
+    "signature_from_dict",
+    "signature_to_dict",
+    "table_signature",
+]
+
+#: Number of minhash permutations per signature.
+NUM_PERM = 128
+#: LSH bands; ``NUM_PERM // LSH_BANDS`` rows each.  With 32 bands of 4
+#: rows, two scripts with shingle Jaccard *s* share at least one band
+#: with probability 1 - (1 - s^4)^32 — ≈ 0.87 at s = 0.5 and ≈ 1 at
+#: s = 0.7, while near-boilerplate overlap (s ≈ 0.2) collides only ≈ 5%
+#: of the time, keeping candidate sets small on self-similar pools.
+#: Same-dataset scripts reach each other through the schema postings
+#: regardless, so sharp banding costs no dataset-mate recall.
+LSH_BANDS = 32
+LSH_ROWS = NUM_PERM // LSH_BANDS
+#: Statement-window width for positional shingles.
+SHINGLE_WINDOW = 3
+
+_MERSENNE = (1 << 61) - 1
+
+#: Fixed universal-hash parameters: the permutation family is part of the
+#: signature format (a different seed would change every persisted
+#: minhash), so it is drawn once from a named constant seed.
+_PERM_SEED = 0x4C53  # "LS"
+_rng = random.Random(_PERM_SEED)
+_PERMS: Tuple[Tuple[int, int], ...] = tuple(
+    (_rng.randrange(1, _MERSENNE), _rng.randrange(0, _MERSENNE))
+    for _ in range(NUM_PERM)
+)
+del _rng
+
+#: Preparation phases in canonical order (derived from workloads.schemas).
+_PHASES: Tuple[str, ...] = tuple(sorted(GROUPS, key=GROUPS.__getitem__))
+
+#: Operation markers assigning a lemmatized statement to a phase.  The
+#: first phase (in GROUPS order) with a matching marker wins.
+_PHASE_MARKERS: Dict[str, Tuple[str, ...]] = {
+    "impute": ("fillna(", "interpolate("),
+    "clean": (
+        "dropna(",
+        "drop_duplicates(",
+        ".replace(",
+        ".drop(",
+        ".rename(",
+        ".astype(",
+        ".strip(",
+    ),
+    "filter": (".query(",),
+    "feature": (".apply(", ".map(", "cut(", "qcut(", ".assign(", ".rolling("),
+    "encode": ("get_dummies(", "factorize(", "LabelEncoder"),
+    "split": ("train_test_split(",),
+}
+
+_STRING_TOKEN = re.compile(r"'([^']+)'")
+_COMPARATOR = re.compile(r"[<>]=?|[!=]=")
+
+
+@dataclass(frozen=True)
+class ScriptSignature:
+    """The cheap retrieval summary of one script (or one query table)."""
+
+    content_hash: str
+    #: NUM_PERM minhash values; empty for table queries (no statements).
+    minhash: Tuple[int, ...]
+    #: 1-gram atom signatures appearing in the script.
+    vocab: frozenset
+    #: string constants touched (column names, CSV paths).
+    schema: frozenset
+    #: normalized phase histogram, in GROUPS order.
+    groups: Tuple[float, ...]
+
+
+def _statement_phase(line: str) -> str:
+    """The preparation phase of one lemmatized statement ('' if none)."""
+    for phase in _PHASES:
+        if any(marker in line for marker in _PHASE_MARKERS.get(phase, ())):
+            return phase
+    # subscript masks (`df = df[df['Age'] < 18]`) are the filter idiom
+    if "[" in line and _COMPARATOR.search(line):
+        return "filter"
+    if line.startswith(("y = ", "X = ")):
+        return "split"
+    return ""
+
+
+def script_shingles(source: str, onegrams: Iterable[str]) -> Set[str]:
+    """The shingle set a script's minhash summarizes.
+
+    Three domains, kept disjoint by prefix: statement lines (``s1``),
+    windows of :data:`SHINGLE_WINDOW` consecutive statements (``s3`` —
+    the positional structure), and 1-gram atom signatures (``a1`` — so
+    operation-level overlap registers even when no whole statement is
+    shared).
+    """
+    lines = [line for line in source.splitlines() if line.strip()]
+    shingles = {f"s1\x00{line}" for line in lines}
+    if len(lines) >= SHINGLE_WINDOW:
+        for start in range(len(lines) - SHINGLE_WINDOW + 1):
+            shingles.add("s3\x00" + "\x00".join(lines[start:start + SHINGLE_WINDOW]))
+    elif lines:
+        shingles.add("s3\x00" + "\x00".join(lines))
+    shingles.update(f"a1\x00{sig}" for sig in onegrams)
+    return shingles
+
+
+def minhash_signature(shingles: Set[str]) -> Tuple[int, ...]:
+    """NUM_PERM-permutation minhash of a shingle set (empty set → ``()``)."""
+    if not shingles:
+        return ()
+    hashed = [
+        int.from_bytes(blake2b(s.encode(), digest_size=8).digest(), "big")
+        for s in shingles
+    ]
+    return tuple(
+        min((a * h + b) % _MERSENNE for h in hashed) for a, b in _PERMS
+    )
+
+
+def band_keys(minhash: Tuple[int, ...]) -> List[Tuple[int, ...]]:
+    """The LSH bucket keys of one minhash: ``(band, row values...)``."""
+    if not minhash:
+        return []
+    return [
+        (band,) + tuple(minhash[band * LSH_ROWS:(band + 1) * LSH_ROWS])
+        for band in range(LSH_BANDS)
+    ]
+
+
+def _phase_histogram(lines: Sequence[str]) -> Tuple[float, ...]:
+    counts = {phase: 0 for phase in _PHASES}
+    total = 0
+    for line in lines:
+        phase = _statement_phase(line)
+        if phase:
+            counts[phase] += 1
+            total += 1
+    if not total:
+        return tuple(0.0 for _ in _PHASES)
+    return tuple(counts[phase] / total for phase in _PHASES)
+
+
+def signature_from_source(
+    content_hash: str, source: str, onegrams: Iterable[str]
+) -> ScriptSignature:
+    """Compute the signature of one lemmatized script.
+
+    Pure in ``(content_hash, source, onegrams)`` — recomputing from a
+    persisted record yields a bit-identical signature.
+    """
+    onegram_list = list(onegrams)
+    lines = [line for line in source.splitlines() if line.strip()]
+    schema = frozenset(
+        token for sig in onegram_list for token in _STRING_TOKEN.findall(sig)
+    )
+    return ScriptSignature(
+        content_hash=content_hash,
+        minhash=minhash_signature(script_shingles(source, onegram_list)),
+        vocab=frozenset(onegram_list),
+        schema=schema,
+        groups=_phase_histogram(lines),
+    )
+
+
+def table_signature(columns: Iterable[str]) -> ScriptSignature:
+    """A query signature for a bare table: schema tokens only.
+
+    A table has no statements, so its minhash/vocab are empty and
+    similarity reduces to schema overlap — "scripts that touch my
+    columns".
+    """
+    return ScriptSignature(
+        content_hash="",
+        minhash=(),
+        vocab=frozenset(),
+        schema=frozenset(str(c) for c in columns),
+        groups=tuple(0.0 for _ in _PHASES),
+    )
+
+
+def _jaccard(a: frozenset, b: frozenset) -> float:
+    if not a or not b:
+        return 0.0
+    intersection = len(a & b)
+    if not intersection:
+        return 0.0
+    return intersection / (len(a) + len(b) - intersection)
+
+
+def _agreement(a: Tuple[int, ...], b: Tuple[int, ...]) -> float:
+    if not a or not b:
+        return 0.0
+    return sum(1 for x, y in zip(a, b) if x == y) / NUM_PERM
+
+
+def bands_collide(a: Tuple[int, ...], b: Tuple[int, ...]) -> bool:
+    """Whether two minhashes share at least one full LSH band.
+
+    This is *exactly* the event that lands two scripts in a common band
+    bucket of the :class:`~repro.corpus.retrieval.RetrievalIndex` — it
+    is the retrievability predicate, and :func:`signature_similarity`
+    gates on it so that positive similarity implies retrievability.
+    """
+    if not a or not b:
+        return False
+    return any(
+        a[start:start + LSH_ROWS] == b[start:start + LSH_ROWS]
+        for start in range(0, NUM_PERM, LSH_ROWS)
+    )
+
+
+def _cosine(a: Tuple[float, ...], b: Tuple[float, ...]) -> float:
+    dot = sum(x * y for x, y in zip(a, b))
+    if not dot:
+        return 0.0
+    return dot / (sqrt(sum(x * x for x in a)) * sqrt(sum(y * y for y in b)))
+
+
+def signature_similarity(a: ScriptSignature, b: ScriptSignature) -> float:
+    """Similarity in [0, 1]; the exact comparator LSH accelerates.
+
+    Gated on the two retrievable events: a pair sharing neither a full
+    LSH band (:func:`bands_collide`) nor a schema token scores exactly
+    0.  The gate makes retrieval *exact by construction* — every
+    positively-scored script lives in the query's band buckets or
+    schema postings, so the candidate set the
+    :class:`~repro.corpus.retrieval.RetrievalIndex` scores contains the
+    complete positive-similarity set and its top-k equals the
+    brute-force top-k (the invariant ``verify_retrieval`` audits).
+    Vocabulary overlap and the phase histogram only *refine* ranking
+    among reachable candidates.
+    """
+    s = _jaccard(a.schema, b.schema)
+    if s == 0.0 and not bands_collide(a.minhash, b.minhash):
+        return 0.0
+    m = _agreement(a.minhash, b.minhash)
+    v = _jaccard(a.vocab, b.vocab)
+    g = _cosine(a.groups, b.groups)
+    return 0.55 * m + 0.20 * v + 0.15 * s + 0.10 * g
+
+
+def signature_to_dict(signature: ScriptSignature) -> dict:
+    """JSON-serializable form (sets stored sorted for stable snapshots)."""
+    return {
+        "minhash": list(signature.minhash),
+        "vocab": sorted(signature.vocab),
+        "schema": sorted(signature.schema),
+        "groups": list(signature.groups),
+    }
+
+
+def signature_from_dict(content_hash: str, payload: dict) -> ScriptSignature:
+    return ScriptSignature(
+        content_hash=content_hash,
+        minhash=tuple(int(v) for v in payload["minhash"]),
+        vocab=frozenset(payload["vocab"]),
+        schema=frozenset(payload["schema"]),
+        groups=tuple(float(v) for v in payload["groups"]),
+    )

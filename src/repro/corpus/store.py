@@ -7,19 +7,32 @@ corpus script, parsed once.  Each stored record carries everything the
 script from the aggregate sufficient statistics as a pure count delta —
 per-script edge/atom counters, inter-statement successor pairs in DAG
 order, 1-gram template candidates, and per-signature relative-position
-lists — so membership changes never touch the AST again.
+lists — plus the retrieval :class:`~repro.corpus.signatures
+.ScriptSignature` (minhash, vocabulary fingerprint, schema tokens),
+computed once here so membership changes and similarity search never
+touch the AST again.
+
+A store may be unbounded (the per-index default) or capped: the
+process-wide shared store (:func:`repro.corpus.cache.shared_store`)
+holds the records of *every* corpus any request touched, so it is
+bounded by an :class:`~repro._lru.LRUCache` — long-lived serving
+processes stay at a configurable ceiling while indexes keep their own
+strong references to the records they admitted (an evicted record is
+simply reparsed on next use).
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from hashlib import sha1
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
+from .._lru import LRUCache
 from ..lang.errors import ScriptError
 from ..lang.lemmatize import lemmatize
 from ..lang.parser import ScriptDAG, parse_script
+from .signatures import ScriptSignature, signature_from_source
 
 __all__ = ["ScriptRecord", "ScriptStore", "StoreCounters", "content_address"]
 
@@ -56,6 +69,9 @@ class ScriptRecord:
     template_slots: Dict[str, TemplateSlot]
     #: n-gram signature -> relative positions, in statement order
     position_lists: Dict[str, List[float]]
+    #: retrieval signature (minhash / vocab / schema features), a pure
+    #: function of (content_hash, source, onegram_counts)
+    signature: ScriptSignature
 
     @classmethod
     def from_dag(cls, content_hash: str, source: str, dag: ScriptDAG) -> "ScriptRecord":
@@ -75,16 +91,18 @@ class ScriptRecord:
                 if first_df is None and is_df:
                     first_df = stmt.source
                 slots[atom.signature] = (first_df, first_any)
+        onegram_counts = dag.onegram_counter()
         return cls(
             content_hash=content_hash,
             source=source,
             n_statements=len(dag),
             edge_counts=dag.edge_counter(),
-            onegram_counts=dag.onegram_counter(),
+            onegram_counts=onegram_counts,
             ngram_counts=dag.ngram_counter(),
             successors_by_source=successors,
             template_slots=slots,
             position_lists=positions,
+            signature=signature_from_source(content_hash, source, onegram_counts),
         )
 
 
@@ -96,9 +114,10 @@ class StoreCounters:
     lemma_hits: int = 0  #: raw bytes seen before — lemmatize skipped too
     parses: int = 0  #: full lemmatize+parse (cache misses)
     failures: int = 0  #: scripts rejected by the parser
+    evictions: int = 0  #: records dropped by a bounded store's LRU cap
 
-    def snapshot(self) -> Tuple[int, int, int, int]:
-        return (self.hits, self.lemma_hits, self.parses, self.failures)
+    def snapshot(self) -> Tuple[int, int, int, int, int]:
+        return (self.hits, self.lemma_hits, self.parses, self.failures, self.evictions)
 
 
 class ScriptStore:
@@ -110,13 +129,25 @@ class ScriptStore:
     constructions over overlapping corpora parse each unique script once.
     A raw-text memo additionally skips lemmatization when the exact same
     bytes are offered again.
+
+    ``capacity`` bounds the store: records evict true-LRU once the cap
+    is hit (counted in ``counters.evictions``), and the raw-text memo is
+    held at twice the cap.  ``None`` (the per-index default) keeps every
+    record for the life of the store.
     """
 
-    def __init__(self):
-        self._records: Dict[str, ScriptRecord] = {}
+    def __init__(self, capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"store capacity must be >= 1 when set, got {capacity}")
+        self.capacity = capacity
+        self._records: Union[Dict[str, ScriptRecord], LRUCache] = (
+            {} if capacity is None else LRUCache(capacity)
+        )
         #: sha1(raw source) -> content hash, so byte-identical re-adds
         #: skip lemmatization entirely
-        self._raw_memo: Dict[str, str] = {}
+        self._raw_memo: Union[Dict[str, str], LRUCache] = (
+            {} if capacity is None else LRUCache(2 * capacity)
+        )
         self.counters = StoreCounters()
 
     def __len__(self) -> int:
@@ -128,9 +159,26 @@ class ScriptStore:
     def get(self, content_hash: str) -> Optional[ScriptRecord]:
         return self._records.get(content_hash)
 
+    def raw_content_hash(self, raw_sha: str) -> Optional[str]:
+        """The content hash recorded for raw bytes with this sha1, if any.
+
+        A recency-neutral probe (:meth:`LRUCache.peek` on bounded
+        stores) — used by the corpus-key fast path, which must not
+        perturb eviction order just by computing cache keys.
+        """
+        if isinstance(self._raw_memo, LRUCache):
+            return self._raw_memo.peek(raw_sha)
+        return self._raw_memo.get(raw_sha)
+
+    def _remember(self, record: ScriptRecord) -> None:
+        self._records[record.content_hash] = record
+        if isinstance(self._records, LRUCache):
+            self.counters.evictions = self._records.evictions
+
     def put(self, record: ScriptRecord) -> None:
         """Insert an externally built record (snapshot restore path)."""
-        self._records.setdefault(record.content_hash, record)
+        if record.content_hash not in self._records:
+            self._remember(record)
 
     def get_or_parse(self, raw_source: str) -> Optional[ScriptRecord]:
         """The record for *raw_source*, parsing at most once per content.
@@ -165,5 +213,5 @@ class ScriptStore:
             return None
         self.counters.parses += 1
         record = ScriptRecord.from_dag(content_hash, lemmatized, dag)
-        self._records[content_hash] = record
+        self._remember(record)
         return record

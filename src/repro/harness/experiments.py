@@ -15,7 +15,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..baselines import Baseline
-from ..corpus import shared_store
+from ..corpus import RetrievalIndex, shared_store
 from ..core import (
     IntentMeasure,
     LSConfig,
@@ -119,6 +119,7 @@ def evaluate_lucidscript(
     config: Optional[LSConfig] = None,
     max_scripts: Optional[int] = None,
     corpus_override: Optional[Sequence[str]] = None,
+    retrieval_k: Optional[int] = None,
 ) -> MethodRun:
     """Leave-one-out evaluation of LucidScript on one competition.
 
@@ -137,10 +138,18 @@ def evaluate_lucidscript(
     corpus_override:
         When given, standardize against these scripts instead of the
         leave-one-out remainder (the "different corpus" scenario).
+    retrieval_k:
+        When set, run the retrieve-then-compute path: each pair's
+        reference scripts become a :class:`RetrievalIndex` pool and the
+        system curates the input's ``retrieval_k`` nearest neighbours
+        instead of the whole remainder (``config.verify_retrieval``
+        audits every query).  Pool membership is maintained as deltas
+        across pairs — the leave-one-out sweep swaps one script in and
+        one out per pair instead of rebuilding the pool.
     """
     run = MethodRun(method=f"LS ({intent_kind})", dataset=corpus.name)
     config = config or LSConfig()
-    if config.corpus_cache:
+    if config.corpus_cache or retrieval_k is not None:
         # Prewarm the content-addressed store once: every leave-one-out
         # reference corpus is a subset of these scripts, so each system
         # construction inside the loop assembles its search space from
@@ -153,12 +162,28 @@ def evaluate_lucidscript(
     pairs = list(corpus.leave_one_out())
     if max_scripts is not None:
         pairs = pairs[:max_scripts]
+    pool: Optional[RetrievalIndex] = None
+    pool_ids: Dict[str, int] = {}
+    if retrieval_k is not None:
+        config.retrieval_k = retrieval_k
+        # one pool for the whole sweep, membership adjusted per pair
+        pool = RetrievalIndex(store=shared_store())
+        if corpus_override is not None:
+            for script in corpus_override:
+                pool.add_script(script)
     for user_script, rest in pairs:
         reference = list(corpus_override) if corpus_override is not None else rest
         intent = make_intent(intent_kind, corpus, tau)
-        system = LucidScript(
-            reference, data_dir=corpus.data_dir, intent=intent, config=config
-        )
+        if pool is not None:
+            if corpus_override is None:
+                _sync_pool(pool, pool_ids, reference)
+            system = LucidScript(
+                pool, data_dir=corpus.data_dir, intent=intent, config=config
+            )
+        else:
+            system = LucidScript(
+                reference, data_dir=corpus.data_dir, intent=intent, config=config
+            )
         started = time.perf_counter()
         try:
             result = system.standardize(user_script)
@@ -173,6 +198,25 @@ def evaluate_lucidscript(
         run.breakdowns.append(result.stats.breakdown())
         run.output_scripts.append(result.output_script)
     return run
+
+
+def _sync_pool(
+    pool: RetrievalIndex, pool_ids: Dict[str, int], reference: Sequence[str]
+) -> None:
+    """Make *pool*'s membership equal *reference*, as pure deltas.
+
+    Successive leave-one-out pairs differ by two scripts (the previous
+    user script re-enters, the next one leaves), so each sync touches
+    O(1) scripts instead of rebuilding an O(N) pool per pair.
+    """
+    desired = set(reference)
+    for script in [s for s in pool_ids if s not in desired]:
+        pool.remove_script(pool_ids.pop(script))
+    for script in reference:
+        if script not in pool_ids:
+            script_id = pool.add_script(script)
+            if script_id is not None:
+                pool_ids[script] = script_id
 
 
 def evaluate_baseline(

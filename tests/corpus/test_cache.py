@@ -134,3 +134,103 @@ class TestLucidScriptWiring:
         assert breakdown["CorpusIndexHits"] == 1
         assert breakdown["CorpusReparses"] == 0
         assert "CorpusScriptHits" in breakdown
+
+
+class TestCorpusKeyFastPath:
+    """The addr-based corpus key: warm lookups never re-hash script text."""
+
+    def test_first_lookup_is_slow_then_fast(self, diabetes_corpus):
+        before = corpus_cache_counters()
+        cached_index(diabetes_corpus)
+        delta = corpus_cache_counters().delta(before)
+        assert delta.key_slow == len(diabetes_corpus)
+        assert delta.key_fast == 0
+        before = corpus_cache_counters()
+        cached_index(diabetes_corpus)
+        delta = corpus_cache_counters().delta(before)
+        assert delta.key_fast == len(diabetes_corpus)
+        assert delta.key_slow == 0
+        assert delta.index_hits == 1
+
+    def test_key_is_order_sensitive(self, diabetes_corpus):
+        """Corpus order is semantic (tie order, templates, positions)."""
+        forward = cached_index(diabetes_corpus)
+        reversed_ = cached_index(list(reversed(diabetes_corpus)))
+        assert forward is not reversed_
+
+    def test_unparseable_scripts_get_stable_failure_keys(self, diabetes_corpus):
+        scripts = diabetes_corpus + ["not python ((("]
+        from repro.lang import ScriptError
+
+        with pytest.raises(ScriptError):
+            cached_index(["not python ((("])
+        # same broken corpus -> same key -> the index cache still works
+        first = cached_index(scripts)
+        assert cached_index(scripts) is first
+
+    def test_key_work_is_reused_by_construction(self, diabetes_corpus):
+        """The key path's parses feed the store the build then hits."""
+        before = corpus_cache_counters()
+        cached_index(diabetes_corpus)
+        delta = corpus_cache_counters().delta(before)
+        # scripts 0/1 share a content hash: 2 unique parses total, and
+        # the from_scripts build right after finds every record resident
+        assert delta.script_parses == 2
+        assert delta.script_hits >= len(diabetes_corpus)
+
+
+class TestSharedStoreBound:
+    def test_shared_store_is_bounded_by_default(self):
+        from repro.corpus.cache import SHARED_STORE_LIMIT
+
+        assert shared_store().capacity == SHARED_STORE_LIMIT
+
+    def test_configure_shared_store_rebounds(self, diabetes_corpus):
+        from repro.corpus import configure_shared_store
+
+        try:
+            store = configure_shared_store(2)
+            assert store.capacity == 2
+            assert shared_store() is store
+            scripts = [
+                f"import pandas as pd\ndf = pd.read_csv('f{i}.csv')\ndf" for i in range(4)
+            ]
+            for script in scripts:
+                store.get_or_parse(script)
+            assert len(store) == 2
+            assert corpus_cache_counters().script_evictions == 2
+        finally:
+            from repro.corpus.cache import SHARED_STORE_LIMIT
+
+            configure_shared_store(SHARED_STORE_LIMIT)
+
+    def test_indexes_keep_strong_refs_across_evictions(self):
+        from repro.corpus import configure_shared_store
+        from repro.corpus.cache import SHARED_STORE_LIMIT
+
+        try:
+            store = configure_shared_store(1)
+            scripts = [
+                f"import pandas as pd\ndf = pd.read_csv('f{i}.csv')\ndf" for i in range(3)
+            ]
+            index = CorpusIndex.from_scripts(scripts, store=store)
+            assert len(store) == 1  # store kept only the most recent
+            assert index.n_scripts == 3  # the index kept all of its records
+            index.verify()  # still bit-identical to a cold rebuild
+        finally:
+            configure_shared_store(SHARED_STORE_LIMIT)
+
+
+class TestSharedRetrievalIndex:
+    def test_singleton_over_shared_store(self, diabetes_corpus):
+        from repro.corpus import shared_retrieval_index
+
+        pool = shared_retrieval_index()
+        assert pool is shared_retrieval_index()
+        assert pool.store is shared_store()
+        for script in diabetes_corpus:
+            pool.add_script(script)
+        assert pool.n_scripts == len(diabetes_corpus)
+        clear_corpus_cache()
+        assert shared_retrieval_index() is not pool
+        assert shared_retrieval_index().n_scripts == 0

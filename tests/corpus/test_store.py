@@ -1,5 +1,7 @@
 """Tests for the content-addressed script store."""
 
+import pytest
+
 from repro.corpus import ScriptStore, content_address
 from repro.lang import lemmatize
 
@@ -41,3 +43,67 @@ class TestContentAddressing:
         assert record.position_lists
         for values in record.position_lists.values():
             assert all(0.0 <= v <= 1.0 for v in values)
+
+
+class TestBoundedStore:
+    """The capped shared-store configuration (true-LRU + eviction counts)."""
+
+    def _scripts(self, n):
+        return [
+            f"import pandas as pd\ndf = pd.read_csv('f{i}.csv')\ndf = df.fillna({i})\ndf"
+            for i in range(n)
+        ]
+
+    def test_capacity_bounds_resident_records(self):
+        store = ScriptStore(capacity=2)
+        scripts = self._scripts(4)
+        for script in scripts:
+            store.get_or_parse(script)
+        assert len(store) == 2
+        assert store.counters.evictions == 2
+        assert store.counters.snapshot()[-1] == 2
+
+    def test_eviction_is_lru_and_lookups_refresh_recency(self):
+        store = ScriptStore(capacity=2)
+        a, b, c = self._scripts(3)
+        ha = store.get_or_parse(a).content_hash
+        store.get_or_parse(b)
+        store.get_or_parse(a)  # refresh a; b is now LRU
+        hc = store.get_or_parse(c).content_hash
+        assert ha in store and hc in store
+        assert len(store) == 2
+
+    def test_evicted_record_is_reparsed_on_next_use(self):
+        store = ScriptStore(capacity=1)
+        a, b = self._scripts(2)
+        store.get_or_parse(a)
+        store.get_or_parse(b)  # evicts a's record
+        parses = store.counters.parses
+        record = store.get_or_parse(a)
+        assert record is not None
+        assert store.counters.parses == parses + 1
+
+    def test_raw_content_hash_probe_is_recency_neutral(self):
+        store = ScriptStore(capacity=2)
+        a, b, c = self._scripts(3)
+        ha = store.get_or_parse(a).content_hash
+        hb = store.get_or_parse(b).content_hash
+        from hashlib import sha1
+
+        # peeking at a must NOT refresh it: b stays the most recent
+        assert store.raw_content_hash(sha1(a.encode()).hexdigest()) == ha
+        store.get_or_parse(c)
+        assert hb in store
+        assert ha not in store
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            ScriptStore(capacity=0)
+        ScriptStore(capacity=None)  # unbounded is fine
+
+    def test_unbounded_store_never_evicts(self):
+        store = ScriptStore()
+        for script in self._scripts(50):
+            store.get_or_parse(script)
+        assert len(store) == 50
+        assert store.counters.evictions == 0

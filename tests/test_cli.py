@@ -234,3 +234,123 @@ class TestNotebookCorpus:
         code = main(["score", "--script", str(user), "--corpus-dir", str(d)])
         assert code == 0
         assert float(capsys.readouterr().out.strip()) > 0
+
+
+class TestReadCorpusOrdering:
+    def test_sorted_by_filename_regardless_of_creation_order(self, tmp_path):
+        """Corpus order must be stable across filesystems: sorted by name."""
+        import random
+
+        from repro.cli import _read_corpus
+
+        d = tmp_path / "shuffled"
+        d.mkdir()
+        names = [f"peer_{i:02d}.py" for i in range(8)]
+        shuffled = list(names)
+        random.Random(3).shuffle(shuffled)
+        for name in shuffled:  # create in shuffled order
+            (d / name).write_text(
+                f"import pandas as pd\ndf = pd.read_csv('{name}.csv')\ndf\n"
+            )
+        scripts = _read_corpus(str(d))
+        expected = [
+            f"import pandas as pd\ndf = pd.read_csv('{name}.csv')\ndf\n"
+            for name in sorted(names)
+        ]
+        assert scripts == expected
+
+
+class TestIndexRetrieveCommand:
+    def test_prints_ranked_hits(self, corpus_dir, script_path, capsys):
+        code = main(
+            [
+                "index", "retrieve",
+                "--corpus-dir", corpus_dir,
+                "--script", script_path,
+                "-k", "2",
+                "--verify",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line.strip()]
+        assert lines[0].startswith("pool:")
+        assert "[audited]" in lines[0]
+        assert len(lines) == 3  # header + 2 hits
+        assert lines[1].lstrip().startswith("1 ")
+
+    def test_persists_and_reloads_pool_snapshot(
+        self, corpus_dir, script_path, tmp_path, capsys
+    ):
+        snapshot = str(tmp_path / "pool.retr.json")
+        assert (
+            main(
+                [
+                    "index", "retrieve",
+                    "--corpus-dir", corpus_dir,
+                    "--script", script_path,
+                    "-k", "2",
+                    "--out", snapshot,
+                ]
+            )
+            == 0
+        )
+        first = capsys.readouterr().out
+        assert (
+            main(["index", "retrieve", "--index", snapshot,
+                  "--script", script_path, "-k", "2"])
+            == 0
+        )
+        second = capsys.readouterr().out
+        hits = lambda text: [  # noqa: E731
+            line for line in text.splitlines() if line.lstrip()[:1].isdigit()
+        ]
+        assert hits(first) == hits(second)
+
+    def test_requires_a_pool(self, script_path):
+        with pytest.raises(SystemExit):
+            main(["index", "retrieve", "--script", script_path])
+
+
+class TestRetrieveKFlag:
+    def test_score_with_retrieve_k_matches_plain_corpus(
+        self, tmp_path, script_path, diabetes_corpus, capsys
+    ):
+        # a duplicate-free pool: retrieval works over unique records, so
+        # parity with the plain directory corpus needs distinct lemmas
+        # (diabetes peers 0 and 1 lemmatize identically)
+        d = tmp_path / "unique"
+        d.mkdir()
+        for position, script in enumerate(diabetes_corpus[1:]):
+            (d / f"peer_{position}.py").write_text(script + "\n")
+        corpus_dir = str(d)
+        assert main(["score", "--script", script_path, "--corpus-dir", corpus_dir]) == 0
+        plain = capsys.readouterr().out
+        assert (
+            main(
+                [
+                    "score", "--script", script_path, "--corpus-dir", corpus_dir,
+                    "--retrieve-k", "3", "--verify-retrieval",
+                ]
+            )
+            == 0
+        )
+        retrieved = capsys.readouterr().out
+        # k >= pool size: the retrieved corpus is the whole pool, and the
+        # score is identical to curating the directory directly
+        assert retrieved == plain
+
+    def test_standardize_with_retrieve_k(
+        self, corpus_dir, script_path, diabetes_dir, capsys
+    ):
+        code = main(
+            [
+                "standardize",
+                "--script", script_path,
+                "--corpus-dir", corpus_dir,
+                "--data-dir", diabetes_dir,
+                "--retrieve-k", "2",
+            ]
+        )
+        assert code == 0
+        assert "df" in capsys.readouterr().out

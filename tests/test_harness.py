@@ -70,6 +70,23 @@ class TestEvaluateLucidScript:
         )
         assert len(run.improvements) == 2
 
+    def test_retrieval_pool_run(self, medical_competition):
+        # the retrieve-then-compute path: the leave-one-out remainder
+        # becomes a RetrievalIndex pool, every query audited for
+        # exactness against brute-force scoring
+        run = evaluate_lucidscript(
+            medical_competition,
+            intent_kind="jaccard",
+            config=LSConfig(
+                seq=3, beam_size=1, sample_rows=120, verify_retrieval=True
+            ),
+            max_scripts=2,
+            retrieval_k=3,
+        )
+        assert len(run.improvements) == 2
+        assert all(v >= 0.0 for v in run.improvements)
+        assert any(b.get("RetrievalQueries") for b in run.breakdowns)
+
     def test_breakdowns_recorded(self, medical_competition):
         run = evaluate_lucidscript(
             medical_competition,
