@@ -5,12 +5,19 @@ cache, the beam search's execution/statement memos, and the incremental
 executor's namespace snapshots.  They all share this one implementation so
 eviction is true LRU (lookups refresh recency) and hit rates are
 observable by :class:`repro.core.beam.SearchStats`.
+
+Caches shared across threads (the server engine's warm registry, the
+process-wide corpus cache) construct with ``thread_safe=True``, which
+guards every mutating operation with an :class:`threading.RLock`.  The
+default stays lock-free: the hot single-threaded paths (beam memos,
+snapshot pools) pay nothing for the option.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
-from typing import Any, Dict, Hashable, Iterator, Optional
+from typing import Any, Dict, Hashable, Iterator, List, Optional
 
 __all__ = ["LRUCache"]
 
@@ -24,17 +31,26 @@ class LRUCache:
     which callers use as an off switch without branching at every site.
     """
 
-    def __init__(self, capacity: int):
+    def __init__(self, capacity: int, thread_safe: bool = False):
         if capacity < 0:
             raise ValueError(f"capacity must be >= 0, got {capacity}")
         self.capacity = capacity
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock: Optional[threading.RLock] = (
+            threading.RLock() if thread_safe else None
+        )
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     # ------------------------------------------------------------- mapping api
     def get(self, key: Hashable, default: Any = None) -> Any:
+        if self._lock is not None:
+            with self._lock:
+                return self._get(key, default)
+        return self._get(key, default)
+
+    def _get(self, key: Hashable, default: Any) -> Any:
         value = self._entries.get(key, _MISSING)
         if value is _MISSING:
             self.misses += 1
@@ -45,9 +61,19 @@ class LRUCache:
 
     def peek(self, key: Hashable, default: Any = None) -> Any:
         """Lookup without touching recency or hit/miss counters."""
+        if self._lock is not None:
+            with self._lock:
+                return self._entries.get(key, default)
         return self._entries.get(key, default)
 
     def __setitem__(self, key: Hashable, value: Any) -> None:
+        if self._lock is not None:
+            with self._lock:
+                self._set(key, value)
+            return
+        self._set(key, value)
+
+    def _set(self, key: Hashable, value: Any) -> None:
         if self.capacity == 0:
             return
         if key in self._entries:
@@ -66,10 +92,25 @@ class LRUCache:
     def __iter__(self) -> Iterator[Hashable]:
         return iter(self._entries)
 
+    def keys(self) -> List[Hashable]:
+        """A stable list of keys (LRU to MRU) — safe to iterate while
+        other threads mutate a thread-safe cache."""
+        if self._lock is not None:
+            with self._lock:
+                return list(self._entries)
+        return list(self._entries)
+
     def pop(self, key: Hashable, default: Any = None) -> Any:
+        if self._lock is not None:
+            with self._lock:
+                return self._entries.pop(key, default)
         return self._entries.pop(key, default)
 
     def clear(self) -> None:
+        if self._lock is not None:
+            with self._lock:
+                self._entries.clear()
+            return
         self._entries.clear()
 
     def resize(self, capacity: int) -> None:
@@ -83,6 +124,13 @@ class LRUCache:
         """
         if capacity < 0:
             raise ValueError(f"capacity must be >= 0, got {capacity}")
+        if self._lock is not None:
+            with self._lock:
+                self._resize(capacity)
+            return
+        self._resize(capacity)
+
+    def _resize(self, capacity: int) -> None:
         self.capacity = capacity
         if capacity == 0:
             if self._entries:

@@ -25,6 +25,17 @@ pool's N most similar scripts to the input (LSH top-k over minhash +
 schema signatures; ``--verify-retrieval`` audits each query against
 brute force).  ``index retrieve`` exposes the same search directly,
 printing the ranked hits.
+
+Standardization-as-a-service::
+
+    python -m repro serve  --socket /tmp/repro.sock [--audit]
+    python -m repro client score --socket /tmp/repro.sock \
+        --script prep.py --corpus-dir peers/
+
+``serve`` runs the long-lived request engine (warm per-corpus state,
+cross-request batch coalescing, graceful SIGTERM drain); ``client``
+sends one job (or ``ping``/``stats``/``shutdown``) and prints the
+response JSON.  See :mod:`repro.server`.
 """
 
 from __future__ import annotations
@@ -292,6 +303,61 @@ def build_parser() -> argparse.ArgumentParser:
                          help="persist the retrieval pool snapshot here for "
                          "reuse (loads in O(snapshot), no reparsing)")
 
+    p_serve = sub.add_parser(
+        "serve", help="run the long-lived standardization server"
+    )
+    p_serve.add_argument("--socket", help="unix socket path to listen on")
+    p_serve.add_argument("--host", help="TCP host to listen on (with --port)")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="TCP port (0 = ephemeral, printed at startup)")
+    p_serve.add_argument("--queue-limit", type=int, default=64,
+                         help="bounded admission: max queued jobs (default 64)")
+    p_serve.add_argument("--warm-limit", type=int, default=8,
+                         help="warm systems pinned under LRU admission (default 8)")
+    p_serve.add_argument("--wave-limit", type=int, default=8,
+                         help="max jobs coalesced into one dispatch wave (default 8)")
+    p_serve.add_argument("--deadline-s", type=float, default=None,
+                         help="default per-request SLA in seconds (requests "
+                         "may override)")
+    p_serve.add_argument("--audit", action="store_true",
+                         help="verify_server: replay every response in a fresh "
+                         "one-shot process and require byte-identical JSON")
+
+    p_client = sub.add_parser(
+        "client", help="send one request to a running standardization server"
+    )
+    p_client.add_argument(
+        "op",
+        choices=["standardize", "score", "explain", "detect-leakage",
+                 "ping", "stats", "shutdown"],
+        help="job or control operation",
+    )
+    p_client.add_argument("--socket", help="server unix socket path")
+    p_client.add_argument("--host", help="server TCP host (with --port)")
+    p_client.add_argument("--port", type=int, help="server TCP port")
+    p_client.add_argument("--script", help="user script path (job ops)")
+    p_client.add_argument("--corpus-dir",
+                          help="directory of peer scripts (read locally and "
+                          "inlined, so TCP servers need no shared filesystem)")
+    p_client.add_argument("--data-dir",
+                          help="dataset directory *on the server's* filesystem")
+    p_client.add_argument("--target",
+                          help="target column (switches to the tau_M intent)")
+    p_client.add_argument("--tau-j", type=float, default=0.9,
+                          help="table-Jaccard threshold (default 0.9)")
+    p_client.add_argument("--tau-m", type=float, default=1.0,
+                          help="model-performance threshold %% (with --target)")
+    p_client.add_argument("--seq", type=int, default=None,
+                          help="max transformations (server default otherwise)")
+    p_client.add_argument("--beam-size", type=int, default=None,
+                          help="beam size K (server default otherwise)")
+    p_client.add_argument("--sample-rows", type=int, default=None,
+                          help="row sample for constraint checks")
+    p_client.add_argument("--deadline-s", type=float, default=None,
+                          help="per-request SLA in seconds")
+    p_client.add_argument("--timeout", type=float, default=300.0,
+                          help="client-side socket timeout (default 300s)")
+
     return parser
 
 
@@ -492,6 +558,90 @@ def cmd_index(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from .server import ServerConfig, StandardizationServer
+
+    try:
+        config = ServerConfig(
+            socket_path=args.socket,
+            host=args.host,
+            port=args.port,
+            queue_limit=args.queue_limit,
+            warm_limit=args.warm_limit,
+            wave_limit=args.wave_limit,
+            audit=args.audit,
+            default_deadline_s=args.deadline_s,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+
+    async def _run() -> None:
+        server = StandardizationServer(config)
+        await server.start()
+        listening = []
+        if config.socket_path:
+            listening.append(f"unix:{config.socket_path}")
+        if server.tcp_address:
+            listening.append("tcp:%s:%d" % server.tcp_address)
+        print(
+            f"repro server listening on {', '.join(listening)}"
+            + (" [audit]" if config.audit else ""),
+            file=sys.stderr,
+        )
+        await server.wait_closed()
+
+    asyncio.run(_run())
+    print("repro server drained", file=sys.stderr)
+    return 0
+
+
+def cmd_client(args) -> int:
+    from .server import ServerClient
+    from .server.protocol import canonical
+
+    if args.socket is None and (args.host is None or args.port is None):
+        raise SystemExit("error: connect with --socket or with --host/--port")
+    op = args.op.replace("-", "_")
+    if op in ("ping", "stats", "shutdown"):
+        message = {"op": op}
+    else:
+        if not args.script:
+            raise SystemExit(f"error: {args.op} requires --script")
+        if not args.corpus_dir:
+            raise SystemExit(f"error: {args.op} requires --corpus-dir")
+        params = {
+            "script": _read_script(args.script),
+            "corpus": _read_corpus(args.corpus_dir),
+            "data_dir": args.data_dir,
+            "target": args.target,
+            "tau_m": args.tau_m,
+            "tau_j": args.tau_j,
+            "config": {
+                name: value
+                for name, value in (
+                    ("seq", args.seq),
+                    ("beam_size", args.beam_size),
+                    ("sample_rows", args.sample_rows),
+                )
+                if value is not None
+            },
+        }
+        message = {"op": op, "params": params}
+        if args.deadline_s is not None:
+            message["deadline_s"] = args.deadline_s
+    with ServerClient(
+        socket_path=args.socket,
+        host=args.host,
+        port=args.port,
+        timeout=args.timeout,
+    ) as client:
+        response = client.request(message)
+    print(canonical(response))
+    return 0 if response.get("ok") else 1
+
+
 _COMMANDS = {
     "curate": cmd_curate,
     "index": cmd_index,
@@ -500,6 +650,8 @@ _COMMANDS = {
     "explain": cmd_explain,
     "build-workload": cmd_build_workload,
     "detect-leakage": cmd_detect_leakage,
+    "serve": cmd_serve,
+    "client": cmd_client,
 }
 
 

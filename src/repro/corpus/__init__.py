@@ -21,6 +21,7 @@ from .cache import (
     clear_corpus_cache,
     configure_shared_store,
     corpus_cache_counters,
+    corpus_key,
     shared_retrieval_index,
     shared_store,
 )
@@ -61,6 +62,7 @@ __all__ = [
     "configure_shared_store",
     "content_address",
     "corpus_cache_counters",
+    "corpus_key",
     "index_from_dict",
     "index_to_dict",
     "load_index",

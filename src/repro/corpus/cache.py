@@ -29,10 +29,18 @@ set: corpus order is semantic (it drives successor-Counter tie order,
 template preference, and position means, all of which ``to_vocabulary``
 reproduces bit-identically), so two orderings of the same scripts are
 genuinely different corpora and must not share a cache entry.
+
+Thread safety: the standardization server admits jobs on its event loop
+while the wave thread curates corpora, so every public function here
+holds one module :class:`threading.RLock` around its read-modify-write
+of the shared globals, and the LRU layers themselves are constructed
+thread-safe.  Single-threaded callers pay one uncontended RLock acquire
+per *cache* operation (not per script), which is noise next to a parse.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from hashlib import sha1
 from typing import Optional, Sequence
@@ -48,6 +56,7 @@ __all__ = [
     "clear_corpus_cache",
     "configure_shared_store",
     "corpus_cache_counters",
+    "corpus_key",
     "shared_retrieval_index",
     "shared_store",
 ]
@@ -59,14 +68,19 @@ SHARED_STORE_LIMIT = 4096
 #: Script-text → content-address memo entries (corpus-key fast path).
 ADDR_MEMO_LIMIT = 4 * SHARED_STORE_LIMIT
 
+#: One lock for every read-modify-write of the module globals below —
+#: reentrant because cached_index -> _corpus_key -> _script_address all
+#: acquire it on the same thread.
+_LOCK = threading.RLock()
+
 _SHARED_CAPACITY: Optional[int] = SHARED_STORE_LIMIT
 _SHARED_STORE = ScriptStore(capacity=_SHARED_CAPACITY)
 _SHARED_RETRIEVAL: Optional[RetrievalIndex] = None
-_INDEX_CACHE: LRUCache = LRUCache(INDEX_CACHE_LIMIT)
+_INDEX_CACHE: LRUCache = LRUCache(INDEX_CACHE_LIMIT, thread_safe=True)
 #: raw script text -> content address (or ``"failed:"`` marker).  Keyed
 #: by the string itself: Python interns the hash in the str object, so a
 #: warm key computation never re-hashes script bytes.
-_ADDR_MEMO: LRUCache = LRUCache(ADDR_MEMO_LIMIT)
+_ADDR_MEMO: LRUCache = LRUCache(ADDR_MEMO_LIMIT, thread_safe=True)
 
 
 @dataclass(frozen=True)
@@ -97,7 +111,8 @@ class CorpusCacheCounters:
 
 def shared_store() -> ScriptStore:
     """The process-wide content-addressed parse cache (LRU-bounded)."""
-    return _SHARED_STORE
+    with _LOCK:
+        return _SHARED_STORE
 
 
 def configure_shared_store(capacity: Optional[int]) -> ScriptStore:
@@ -108,9 +123,10 @@ def configure_shared_store(capacity: Optional[int]) -> ScriptStore:
     reconfiguration happened, so the warm layers restart cold instead.
     """
     global _SHARED_CAPACITY
-    _SHARED_CAPACITY = capacity
-    clear_corpus_cache()
-    return _SHARED_STORE
+    with _LOCK:
+        _SHARED_CAPACITY = capacity
+        clear_corpus_cache()
+        return _SHARED_STORE
 
 
 def shared_retrieval_index() -> RetrievalIndex:
@@ -119,11 +135,22 @@ def shared_retrieval_index() -> RetrievalIndex:
     Created lazily and empty; callers (harness prewarm, the CLI) add
     pool scripts through the normal ``add_script`` delta path, and every
     subsequent request shares the buckets.
+
+    Invariant: the returned index is always built over the *current*
+    shared store — ``shared_retrieval_index().store is shared_store()``
+    holds after any configure/clear sequence.  A stale pin (e.g. a
+    cached module-level reference created before a
+    ``configure_shared_store``) is detected and rebuilt here rather than
+    silently retrieving against the orphaned store.
     """
     global _SHARED_RETRIEVAL
-    if _SHARED_RETRIEVAL is None:
-        _SHARED_RETRIEVAL = RetrievalIndex(store=_SHARED_STORE)
-    return _SHARED_RETRIEVAL
+    with _LOCK:
+        if (
+            _SHARED_RETRIEVAL is None
+            or _SHARED_RETRIEVAL.store is not _SHARED_STORE
+        ):
+            _SHARED_RETRIEVAL = RetrievalIndex(store=_SHARED_STORE)
+        return _SHARED_RETRIEVAL
 
 
 def _script_address(script: str) -> str:
@@ -135,18 +162,19 @@ def _script_address(script: str) -> str:
     record already resident.  Unparseable scripts get a stable
     ``failed:`` key derived from their raw bytes.
     """
-    address = _ADDR_MEMO.get(script)
-    if address is not None:
-        _COUNTERS["key_fast"] += 1
+    with _LOCK:
+        address = _ADDR_MEMO.get(script)
+        if address is not None:
+            _COUNTERS["key_fast"] += 1
+            return address
+        _COUNTERS["key_slow"] += 1
+        record = _SHARED_STORE.get_or_parse(script)
+        if record is not None:
+            address = record.content_hash
+        else:
+            address = "failed:" + sha1(script.encode()).hexdigest()
+        _ADDR_MEMO[script] = address
         return address
-    _COUNTERS["key_slow"] += 1
-    record = _SHARED_STORE.get_or_parse(script)
-    if record is not None:
-        address = record.content_hash
-    else:
-        address = "failed:" + sha1(script.encode()).hexdigest()
-    _ADDR_MEMO[script] = address
-    return address
 
 
 def _corpus_key(scripts: Sequence[str]) -> str:
@@ -157,6 +185,17 @@ def _corpus_key(scripts: Sequence[str]) -> str:
         digest.update(b"\x00")
     digest.update(str(len(scripts)).encode())
     return digest.hexdigest()
+
+
+def corpus_key(scripts: Sequence[str]) -> str:
+    """Public content address of a corpus (ordered script addresses).
+
+    Two corpora share a key iff their scripts are byte-identical in the
+    same order — the identity the server engine uses for warm-state
+    admission and cross-request wave coalescing.
+    """
+    with _LOCK:
+        return _corpus_key(scripts)
 
 
 #: module-level counters that outlive individual cache objects
@@ -171,39 +210,42 @@ def cached_index(scripts: Sequence[str]) -> CorpusIndex:
     returned index is shared — treat it as read-only, or derive a
     private vocabulary via ``to_vocabulary()`` (which copies).
     """
-    key = _corpus_key(scripts)
-    index = _INDEX_CACHE.get(key)
-    if index is not None:
+    with _LOCK:
+        key = _corpus_key(scripts)
+        index = _INDEX_CACHE.get(key)
+        if index is not None:
+            return index
+        index = CorpusIndex.from_scripts(scripts, store=_SHARED_STORE)
+        _INDEX_CACHE[key] = index
         return index
-    index = CorpusIndex.from_scripts(scripts, store=_SHARED_STORE)
-    _INDEX_CACHE[key] = index
-    return index
 
 
 def corpus_cache_counters() -> CorpusCacheCounters:
-    counters = _SHARED_STORE.counters
-    return CorpusCacheCounters(
-        index_hits=_INDEX_CACHE.hits,
-        index_misses=_INDEX_CACHE.misses,
-        script_hits=counters.hits,
-        script_parses=counters.parses,
-        script_failures=counters.failures,
-        script_evictions=counters.evictions,
-        key_fast=_COUNTERS["key_fast"],
-        key_slow=_COUNTERS["key_slow"],
-    )
+    with _LOCK:
+        counters = _SHARED_STORE.counters
+        return CorpusCacheCounters(
+            index_hits=_INDEX_CACHE.hits,
+            index_misses=_INDEX_CACHE.misses,
+            script_hits=counters.hits,
+            script_parses=counters.parses,
+            script_failures=counters.failures,
+            script_evictions=counters.evictions,
+            key_fast=_COUNTERS["key_fast"],
+            key_slow=_COUNTERS["key_slow"],
+        )
 
 
 def clear_corpus_cache() -> None:
     """Drop every warm-cache layer (tests and memory-pressure hooks)."""
     global _SHARED_STORE, _SHARED_RETRIEVAL
-    _SHARED_STORE = ScriptStore(capacity=_SHARED_CAPACITY)
-    _SHARED_RETRIEVAL = None
-    _INDEX_CACHE.clear()
-    _INDEX_CACHE.hits = 0
-    _INDEX_CACHE.misses = 0
-    _ADDR_MEMO.clear()
-    _ADDR_MEMO.hits = 0
-    _ADDR_MEMO.misses = 0
-    _COUNTERS["key_fast"] = 0
-    _COUNTERS["key_slow"] = 0
+    with _LOCK:
+        _SHARED_STORE = ScriptStore(capacity=_SHARED_CAPACITY)
+        _SHARED_RETRIEVAL = None
+        _INDEX_CACHE.clear()
+        _INDEX_CACHE.hits = 0
+        _INDEX_CACHE.misses = 0
+        _ADDR_MEMO.clear()
+        _ADDR_MEMO.hits = 0
+        _ADDR_MEMO.misses = 0
+        _COUNTERS["key_fast"] = 0
+        _COUNTERS["key_slow"] = 0

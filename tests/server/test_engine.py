@@ -1,0 +1,214 @@
+"""Integration tests for the asyncio request engine.
+
+Each test runs a real server (dedicated thread + event loop, unix
+socket under ``tmp_path``) and talks to it through the blocking client —
+the exact deployment shape of ``repro serve`` / ``repro client``.
+"""
+
+import time
+
+import pytest
+
+from repro.corpus import clear_corpus_cache
+from repro.sandbox import kill_worker_pool
+from repro.server import ServerClient, ServerConfig, ServerError, ServerThread
+
+#: tiny search budget: these tests exercise serving, not search quality
+TINY = {"seq": 2, "beam_size": 1, "sample_rows": 50}
+
+
+@pytest.fixture(autouse=True)
+def fresh_state():
+    clear_corpus_cache()
+    yield
+    kill_worker_pool()
+    clear_corpus_cache()
+
+
+def _server(tmp_path, **overrides):
+    return ServerThread(
+        ServerConfig(socket_path=str(tmp_path / "repro.sock"), **overrides)
+    )
+
+
+class TestSmoke:
+    def test_one_request_and_clean_drain_within_hard_timeout(
+        self, tmp_path, diabetes_corpus, alex_script, diabetes_dir
+    ):
+        """Tier-1 smoke: serve on a unix socket, answer one request,
+        drain cleanly — all inside a hard wall-clock budget."""
+        started = time.monotonic()
+        handle = _server(tmp_path).start(timeout=30.0)
+        sock = handle.config.socket_path
+        try:
+            with ServerClient(socket_path=sock, timeout=60.0) as client:
+                assert client.ping()
+                result = client.score(
+                    script=alex_script, corpus=diabetes_corpus, config=TINY
+                )
+                assert result["score"] > 0
+        finally:
+            handle.stop(timeout=30.0)
+        assert time.monotonic() - started < 60.0
+        import os
+
+        assert not os.path.exists(sock)  # drain unlinked the socket
+
+    def test_tcp_listener(self, diabetes_corpus, alex_script):
+        handle = ServerThread(ServerConfig(host="127.0.0.1", port=0)).start()
+        try:
+            host, port = handle.server.tcp_address
+            with ServerClient(host=host, port=port, timeout=60.0) as client:
+                result = client.score(
+                    script=alex_script, corpus=diabetes_corpus, config=TINY
+                )
+                assert result["score"] > 0
+        finally:
+            handle.stop()
+
+
+class TestControlOps:
+    def test_stats_counts_jobs(self, tmp_path, diabetes_corpus, alex_script):
+        with _server(tmp_path) as handle:
+            with ServerClient(socket_path=handle.config.socket_path) as client:
+                client.score(script=alex_script, corpus=diabetes_corpus, config=TINY)
+                stats = client.stats()
+        assert stats["jobs_total"] == 1
+        assert stats["jobs"] == {"score": 1}
+        assert stats["admitted"] == 1
+        assert stats["warm_misses"] == 1
+
+    def test_unknown_op_is_bad_request(self, tmp_path):
+        with _server(tmp_path) as handle:
+            with ServerClient(socket_path=handle.config.socket_path) as client:
+                response = client.request({"op": "evaporate"})
+        assert response["ok"] is False
+        assert response["error"]["kind"] == "bad_request"
+        assert response["error"]["retryable"] is False
+
+    def test_malformed_line_gets_an_error_not_a_hangup(self, tmp_path):
+        with _server(tmp_path) as handle:
+            with ServerClient(socket_path=handle.config.socket_path) as client:
+                client._sock.sendall(b"this is not json\n")
+                response = client._read_response()
+                assert response["error"]["kind"] == "bad_request"
+                assert client.ping()  # connection survives
+
+    def test_shutdown_op_drains(self, tmp_path):
+        handle = _server(tmp_path).start()
+        with ServerClient(socket_path=handle.config.socket_path) as client:
+            assert client.shutdown()
+        handle._thread.join(30.0)
+        assert not handle._thread.is_alive()
+
+
+class TestWarmAndCoalesced:
+    def test_same_shape_requests_hit_warm_state(
+        self, tmp_path, diabetes_corpus, alex_script
+    ):
+        with _server(tmp_path) as handle:
+            with ServerClient(socket_path=handle.config.socket_path) as client:
+                scores = [
+                    client.score(
+                        script=alex_script, corpus=diabetes_corpus, config=TINY
+                    )["score"]
+                    for _ in range(4)
+                ]
+                stats = client.stats()
+        assert len(set(scores)) == 1
+        assert stats["warm_misses"] == 1  # first request builds
+        assert stats["warm_hits"] == 3  # the rest reuse it
+
+    def test_pipelined_same_corpus_jobs_coalesce(
+        self, tmp_path, diabetes_corpus, alex_script, diabetes_dir
+    ):
+        """A slow first job holds the wave thread while the rest of the
+        batch queues up behind it — the next wave serves them together."""
+        with _server(tmp_path) as handle:
+            with ServerClient(socket_path=handle.config.socket_path) as client:
+                slow = client.submit(
+                    {
+                        "op": "standardize",
+                        "params": {
+                            "script": alex_script,
+                            "corpus": diabetes_corpus,
+                            "data_dir": diabetes_dir,
+                            "config": TINY,
+                        },
+                    }
+                )
+                fast = client.submit_jobs(
+                    [
+                        {
+                            "op": "score",
+                            "params": {
+                                "script": alex_script,
+                                "corpus": diabetes_corpus,
+                                "config": TINY,
+                            },
+                        }
+                        for _ in range(5)
+                    ]
+                )
+                responses = client.collect_jobs([slow] + fast)
+                stats = client.stats()
+        assert all(r["ok"] for r in responses)
+        assert stats["jobs_total"] == 6
+        assert stats["coalesced_waves"] >= 1
+        assert stats["coalesced_jobs"] >= 2
+        assert stats["waves"] < 6  # strictly fewer dispatches than jobs
+
+    def test_deadline_expired_job_is_retryable(
+        self, tmp_path, diabetes_corpus, alex_script
+    ):
+        with _server(tmp_path) as handle:
+            with ServerClient(socket_path=handle.config.socket_path) as client:
+                with pytest.raises(ServerError) as excinfo:
+                    client.score(
+                        script=alex_script,
+                        corpus=diabetes_corpus,
+                        config=TINY,
+                        deadline_s=1e-7,
+                    )
+                stats = client.stats()
+        assert excinfo.value.kind == "deadline"
+        assert excinfo.value.retryable is True
+        assert stats["deadline_misses"] == 1
+
+
+class TestErrorVerdicts:
+    def test_missing_script_is_bad_request(self, tmp_path, diabetes_corpus):
+        with _server(tmp_path) as handle:
+            with ServerClient(socket_path=handle.config.socket_path) as client:
+                with pytest.raises(ServerError) as excinfo:
+                    client.score(corpus=diabetes_corpus)
+        assert excinfo.value.kind == "bad_request"
+        assert excinfo.value.retryable is False
+
+    def test_unparseable_input_script_is_bad_request(
+        self, tmp_path, diabetes_corpus
+    ):
+        with _server(tmp_path) as handle:
+            with ServerClient(socket_path=handle.config.socket_path) as client:
+                with pytest.raises(ServerError) as excinfo:
+                    client.score(
+                        script="not python (((", corpus=diabetes_corpus, config=TINY
+                    )
+        assert excinfo.value.kind == "bad_request"
+
+    def test_audit_mode_serves_verified_results(
+        self, tmp_path, diabetes_corpus, alex_script
+    ):
+        """verify_server end to end: the response only ships after a cold
+        process replayed it byte-identically."""
+        with _server(tmp_path, audit=True) as handle:
+            with ServerClient(
+                socket_path=handle.config.socket_path, timeout=300.0
+            ) as client:
+                result = client.score(
+                    script=alex_script, corpus=diabetes_corpus, config=TINY
+                )
+                stats = client.stats()
+        assert result["score"] > 0
+        assert stats["audits"] == 1
+        assert stats["audit_failures"] == 0
