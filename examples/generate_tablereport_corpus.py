@@ -1,0 +1,31 @@
+#!/usr/bin/env python
+"""Regenerate the committed tablereport example corpus.
+
+Writes ``examples/tablereport_corpus/``: one deterministic ``design.csv``
+plus ~30 stylistically varied preparation scripts in the ``tablereport``
+dialect (see ``repro.dialects.tablereport``).  The generator is a pure
+LCG, so re-running this script always reproduces the committed files
+byte-for-byte.
+
+Usage::
+
+    PYTHONPATH=src python examples/generate_tablereport_corpus.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.dialects.tablereport_corpus import write_corpus  # noqa: E402
+
+
+def main() -> int:
+    directory = os.path.join(os.path.dirname(__file__), "tablereport_corpus")
+    paths = write_corpus(directory)
+    print(f"wrote {len(paths)} files -> {directory}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,6 @@
+import tablereport as tr
+top = tr.load_design('design.csv')
+top = top.fill_missing_caps()
+top = top.drop_unplaced()
+top = top.dedupe_cells()
+report = top.timing_report()

@@ -1,0 +1,7 @@
+import tablereport as tr
+chip = tr.load_design('design.csv')
+chip = chip.fill_missing_caps()
+chip = chip.keep_layer('m2')
+chip = chip.dedupe_cells()
+chip = chip.drop_unplaced()
+report = chip.timing_report()

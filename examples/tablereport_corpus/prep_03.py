@@ -1,0 +1,6 @@
+import tablereport
+blk = tablereport.load_design('design.csv')
+blk = blk.fill_missing_caps()
+blk = blk.drop_unplaced()
+blk = blk.dedupe_cells()
+timing = blk.timing_report()

@@ -1,0 +1,7 @@
+import tablereport as tr
+blk = tr.load_design('design.csv')
+blk = blk.fill_missing_caps()
+blk = blk.drop_high_fanout(12)
+blk = blk.dedupe_cells()
+blk = blk.drop_unplaced()
+timing = blk.timing_report()

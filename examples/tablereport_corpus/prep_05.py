@@ -1,0 +1,6 @@
+import tablereport as tr
+chip = tr.load_design('design.csv')
+chip = chip.fill_missing_caps()
+chip = chip.drop_unplaced()
+chip = chip.dedupe_cells()
+timing = chip.timing_report()

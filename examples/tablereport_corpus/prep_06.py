@@ -1,0 +1,7 @@
+import tablereport as tr
+blk = tr.load_design('design.csv')
+blk = blk.fill_missing_caps()
+blk = blk.drop_unplaced()
+blk = blk.prune_slack(0.25)
+blk = blk.dedupe_cells()
+report = blk.timing_report()

@@ -1,0 +1,6 @@
+import tablereport as tr
+d = tr.load_design('design.csv')
+d = d.fill_missing_caps()
+d = d.drop_unplaced()
+d = d.dedupe_cells()
+rpt = d.timing_report()

@@ -1,0 +1,6 @@
+import tablereport as tr
+die = tr.load_design('design.csv')
+die = die.fill_missing_caps()
+die = die.drop_unplaced()
+die = die.dedupe_cells()
+timing = die.timing_report()

@@ -1,0 +1,7 @@
+import tablereport as tr
+d = tr.load_design('design.csv')
+d = d.fill_missing_caps()
+d = d.drop_unplaced()
+d = d.keep_layer('m1')
+d = d.dedupe_cells()
+rpt = d.timing_report()

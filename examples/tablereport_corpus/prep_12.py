@@ -1,0 +1,6 @@
+import tablereport
+top = tablereport.load_design('design.csv')
+top = top.fill_missing_caps()
+top = top.drop_unplaced()
+top = top.dedupe_cells()
+timing = top.timing_report()

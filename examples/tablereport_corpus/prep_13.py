@@ -1,0 +1,7 @@
+import tablereport
+chip = tablereport.load_design('design.csv')
+chip = chip.fill_missing_caps()
+chip = chip.keep_layer('m1')
+chip = chip.drop_unplaced()
+chip = chip.dedupe_cells()
+report = chip.timing_report()

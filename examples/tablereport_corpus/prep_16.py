@@ -1,0 +1,7 @@
+import tablereport
+layout = tablereport.load_design('design.csv')
+layout = layout.fill_missing_caps()
+layout = layout.prune_slack(0.25)
+layout = layout.drop_unplaced()
+layout = layout.dedupe_cells()
+report = layout.timing_report()

@@ -1,0 +1,6 @@
+import tablereport as tr
+design = tr.load_design('design.csv')
+design = design.fill_missing_caps()
+design = design.dedupe_cells()
+design = design.drop_unplaced()
+report = design.timing_report()

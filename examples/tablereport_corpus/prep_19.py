@@ -1,0 +1,7 @@
+import tablereport as tr
+top = tr.load_design('design.csv')
+top = top.fill_missing_caps()
+top = top.drop_high_fanout(12)
+top = top.drop_unplaced()
+top = top.dedupe_cells()
+rpt = top.timing_report()

@@ -1,0 +1,6 @@
+import tablereport as tr
+blk = tr.load_design('design.csv')
+blk = blk.fill_missing_caps()
+blk = blk.dedupe_cells()
+blk = blk.drop_unplaced()
+report = blk.timing_report()

@@ -1,0 +1,6 @@
+import tablereport as tr
+layout = tr.load_design('design.csv')
+layout = layout.fill_missing_caps()
+layout = layout.drop_unplaced()
+layout = layout.dedupe_cells()
+report = layout.timing_report()

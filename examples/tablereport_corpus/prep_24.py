@@ -1,0 +1,7 @@
+import tablereport as tr
+blk = tr.load_design('design.csv')
+blk = blk.fill_missing_caps()
+blk = blk.drop_unplaced()
+blk = blk.keep_layer('m2')
+blk = blk.dedupe_cells()
+rpt = blk.timing_report()

@@ -1,0 +1,7 @@
+import tablereport as tr
+die = tr.load_design('design.csv')
+die = die.fill_missing_caps()
+die = die.drop_unplaced()
+die = die.keep_layer('m2')
+die = die.dedupe_cells()
+report = die.timing_report()

@@ -1,0 +1,7 @@
+import tablereport as tr
+design = tr.load_design('design.csv')
+design = design.fill_missing_caps()
+design = design.drop_unplaced()
+design = design.drop_high_fanout(8)
+design = design.dedupe_cells()
+report = design.timing_report()

@@ -1,0 +1,7 @@
+import tablereport as tr
+layout = tr.load_design('design.csv')
+layout = layout.fill_missing_caps()
+layout = layout.drop_unplaced()
+layout = layout.drop_high_fanout(12)
+layout = layout.dedupe_cells()
+report = layout.timing_report()

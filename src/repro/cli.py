@@ -155,7 +155,7 @@ def _apply_retrieval(corpus, args, config: LSConfig):
         return corpus
     config.retrieval_k = k
     config.verify_retrieval = bool(getattr(args, "verify_retrieval", False))
-    pool = RetrievalIndex(store=shared_store())
+    pool = RetrievalIndex(store=shared_store(config.dialect))
     if isinstance(corpus, CorpusIndex):
         for content_hash in corpus.content_hashes():
             pool.add_record(corpus._records[content_hash])
@@ -185,12 +185,36 @@ def _make_config(args) -> LSConfig:
         diversity=not args.no_diversity,
         early_check=not args.late_check,
         sample_rows=args.sample_rows,
+        dialect=args.dialect,
+    )
+
+
+def _dialect_arg(name: str) -> str:
+    """argparse type for --dialect: unknown names fail listing options."""
+    from .dialects import UnknownDialectError, get_dialect
+
+    try:
+        get_dialect(name)
+    except UnknownDialectError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+    return name
+
+
+def _add_dialect(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dialect",
+        default="pandas",
+        type=_dialect_arg,
+        metavar="NAME",
+        help="API dialect of the scripts (default: pandas; "
+        "see 'dialect list' for registered dialects)",
     )
 
 
 def _add_common(parser: argparse.ArgumentParser, with_search: bool = True) -> None:
     parser.add_argument("--script", required=True, help="user script path")
     parser.add_argument("--corpus-dir", help="directory of peer .py scripts")
+    _add_dialect(parser)
     parser.add_argument(
         "--index",
         help="persisted corpus index (from 'index build'); loads the offline "
@@ -271,6 +295,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="directory of peer .py/.ipynb scripts")
     p_ibuild.add_argument("--out", required=True,
                           help="path for the index snapshot JSON")
+    _add_dialect(p_ibuild)
     p_iupdate = index_sub.add_parser(
         "update", help="stat-scan the corpus directory, reparse only changes"
     )
@@ -302,6 +327,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_iretr.add_argument("--out",
                          help="persist the retrieval pool snapshot here for "
                          "reuse (loads in O(snapshot), no reparsing)")
+    _add_dialect(p_iretr)
+
+    p_dialect = sub.add_parser(
+        "dialect", help="list registered API dialects / run the dialect audit"
+    )
+    dialect_sub = p_dialect.add_subparsers(dest="dialect_command", required=True)
+    dialect_sub.add_parser("list", help="registered dialects and their surfaces")
+    p_dverify = dialect_sub.add_parser(
+        "verify",
+        help="verify_dialect audit: replay each dialect's recorded fixture "
+        "case and require a byte-for-byte match",
+    )
+    p_dverify.add_argument("--dialect", dest="dialects", action="append",
+                           type=_dialect_arg, metavar="NAME",
+                           help="audit only this dialect (repeatable; default: "
+                           "every dialect with a recorded fixture)")
 
     p_serve = sub.add_parser(
         "serve", help="run the long-lived standardization server"
@@ -388,7 +429,7 @@ def cmd_standardize(args) -> int:
 
 def cmd_score(args) -> int:
     corpus = _corpus_input(args)
-    config = LSConfig()
+    config = LSConfig(dialect=args.dialect)
     corpus = _apply_retrieval(corpus, args, config)
     system = LucidScript(corpus, config=config)
     score = system.score(_read_script(args.script))
@@ -475,6 +516,7 @@ def cmd_curate(args) -> int:
 
 def _print_index_summary(index: CorpusIndex) -> None:
     stats = index.stats()
+    print(f"dialect: {index.dialect}")
     print(
         f"scripts: {stats.n_scripts} ({index.n_unique_scripts} unique by content)"
     )
@@ -492,7 +534,7 @@ def cmd_index_retrieve(args) -> int:
         if args.corpus_dir:
             pool.refresh(args.corpus_dir)
     elif args.corpus_dir:
-        pool = RetrievalIndex()
+        pool = RetrievalIndex(dialect=args.dialect)
         pool.refresh(args.corpus_dir)
     else:
         raise SystemExit("one of --corpus-dir or --index is required")
@@ -501,7 +543,7 @@ def cmd_index_retrieve(args) -> int:
     hits = pool.top_k(_read_script(args.script), args.k, verify=args.verify)
     stats = pool.stats()
     print(
-        f"pool: {stats['n_unique_scripts']} unique scripts, "
+        f"pool [{stats['dialect']}]: {stats['n_unique_scripts']} unique scripts, "
         f"{stats['n_band_buckets']} band buckets, "
         f"{stats['n_schema_tokens']} schema tokens"
         + (" [audited]" if args.verify else "")
@@ -519,7 +561,7 @@ def cmd_index(args) -> int:
     if args.index_command == "retrieve":
         return cmd_index_retrieve(args)
     if args.index_command == "build":
-        index = CorpusIndex()
+        index = CorpusIndex(dialect=args.dialect)
         report = index.refresh(args.corpus_dir)
         if not index.n_scripts:
             raise SystemExit(
@@ -555,6 +597,27 @@ def cmd_index(args) -> int:
     _print_index_summary(index)
     for key, value in index.stats().as_dict().items():
         print(f"  {key}: {value}")
+    return 0
+
+
+def cmd_dialect(args) -> int:
+    from .dialects import dialect_names, get_dialect
+
+    if args.dialect_command == "list":
+        for name in dialect_names():
+            print(get_dialect(name).describe())
+        return 0
+
+    # verify
+    from .dialects.verify import DialectMismatchError, verify_dialect
+
+    try:
+        records = verify_dialect(args.dialects)
+    except DialectMismatchError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    for name in sorted(records):
+        print(f"{name}: fixture replay is byte-identical")
     return 0
 
 
@@ -644,6 +707,7 @@ def cmd_client(args) -> int:
 
 _COMMANDS = {
     "curate": cmd_curate,
+    "dialect": cmd_dialect,
     "index": cmd_index,
     "standardize": cmd_standardize,
     "score": cmd_score,

@@ -212,6 +212,13 @@ class BeamSearch:
                 vocabulary, config.operation_groups, random_state=config.random_state
             )
         self._exec_checker = exec_checker
+        # the lang layer takes None for the historical pandas surface
+        if config.dialect == "pandas":
+            self._lang_dialect = None
+        else:
+            from ..dialects import get_dialect
+
+            self._lang_dialect = get_dialect(config.dialect)
         self._executor = executor
         if (
             self._executor is None
@@ -224,6 +231,7 @@ class BeamSearch:
                 snapshot_budget=config.snapshot_budget,
                 exec_timeout_s=config.exec_timeout_s,
                 statement_timeout_s=config.statement_timeout_s,
+                dialect=config.dialect,
             )
         # executors may be shared across searches; stats report deltas
         self._executor_baseline = (
@@ -292,6 +300,7 @@ class BeamSearch:
                 data_dir=self.data_dir,
                 sample_rows=self.config.sample_rows,
                 timeout_s=self.config.exec_timeout_s,
+                dialect=self.config.dialect,
             )
             ok = result.ok and result.output is not None
             if result.timed_out:
@@ -306,7 +315,7 @@ class BeamSearch:
         """Parse-once cache for add-candidate statements."""
         statement = self._statement_cache.get(source)
         if statement is None:
-            statement = Statement.from_source(0, source)
+            statement = Statement.from_source(0, source, dialect=self._lang_dialect)
             self._statement_cache[source] = statement
         return statement
 
@@ -542,6 +551,7 @@ class BeamSearch:
             shard_affinity=self.config.shard_affinity,
             source_cache_limit=self.config.worker_source_cache_limit,
             affinity_base=candidate.source(),
+            dialect=self.config.dialect,
         )
         self.stats.check_executes_s += time.perf_counter() - wall
         self.stats.check_executes_cpu_s += time.process_time() - cpu
@@ -563,6 +573,7 @@ class BeamSearch:
                 sample_rows=self.config.sample_rows,
                 workers=1,
                 timeout_s=self.config.exec_timeout_s,
+                dialect=self.config.dialect,
             )
             if serial != verdicts:
                 from ..sandbox.shards import ParallelMismatchError

@@ -177,6 +177,14 @@ class LSConfig:
         types).  Scoped to the serial in-process path — shard workers
         run unaudited.  Off by default — it exists to audit the kernel
         engine, not for production.
+    dialect:
+        Name of the registered :class:`~repro.dialects.ApiDialect` this
+        search standardizes against — the recognized call surface,
+        sandbox shim, and output convention.  ``"pandas"`` (the default)
+        is bit-identical to the pre-dialect pipeline; corpus and input
+        scripts must all belong to this dialect.  Unknown names raise
+        :class:`~repro.dialects.UnknownDialectError` listing what is
+        registered.
     """
 
     seq: int = 16
@@ -209,8 +217,12 @@ class LSConfig:
     retrieval_k: int = 20
     verify_retrieval: bool = False
     verify_kernels: bool = False
+    dialect: str = "pandas"
 
     def __post_init__(self):
+        from ..dialects import get_dialect
+
+        get_dialect(self.dialect)  # unknown names fail fast, listing options
         if self.seq < 1:
             raise ValueError(f"seq must be >= 1, got {self.seq}")
         if self.beam_size < 1:

@@ -23,6 +23,7 @@ from ..corpus import (
     cached_index,
     corpus_cache_counters,
 )
+from ..dialects import get_dialect
 from ..lang import CorpusVocabulary, ScriptError, lemmatize, parse_script
 from ..minipandas import DataFrame
 from ..minipandas.kernels import kernel_audit
@@ -72,7 +73,10 @@ def _sized_cache(cache: LRUCache, limit: Optional[int]) -> LRUCache:
 
 
 def _original_output_fingerprint(
-    original_source: str, data_dir: Optional[str], sample_rows: Optional[int]
+    original_source: str,
+    data_dir: Optional[str],
+    sample_rows: Optional[int],
+    dialect: str = "pandas",
 ) -> str:
     """Cache key for one run's original output: everything that determines
     what :func:`repro.sandbox.run_script` would produce for it."""
@@ -82,6 +86,8 @@ def _original_output_fingerprint(
     digest.update(str(data_dir).encode())
     digest.update(b"\x00")
     digest.update(str(sample_rows).encode())
+    digest.update(b"\x00")
+    digest.update(dialect.encode())
     return digest.hexdigest()
 
 
@@ -91,13 +97,14 @@ def _worker_original_output(
     sample_rows: Optional[int],
     timeout_s: Optional[float],
     limit: Optional[int] = None,
+    dialect: Optional[str] = None,
 ) -> Optional[DataFrame]:
     """The original output inside a shard worker — cached, else recomputed.
 
     ``ref`` is ``(fingerprint, original_source)``.  The sandbox is
-    deterministic for fixed ``(source, data_dir, sample_rows)``, so a
-    recompute yields the same table the parent holds; tasks therefore ship
-    two strings instead of a pickled DataFrame per candidate.
+    deterministic for fixed ``(source, data_dir, sample_rows, dialect)``,
+    so a recompute yields the same table the parent holds; tasks therefore
+    ship two strings instead of a pickled DataFrame per candidate.
     """
     fingerprint, original_source = ref
     cache = _sized_cache(_WORKER_OUTPUT_CACHE, limit)
@@ -109,6 +116,7 @@ def _worker_original_output(
         data_dir=data_dir,
         sample_rows=sample_rows,
         timeout_s=timeout_s,
+        dialect=dialect,
     )
     if not result.ok or result.output is None:
         return None
@@ -167,16 +175,21 @@ def _verify_candidate_task(args) -> bool:
         timeout_s,
         incremental_intent,
         verify_intent,
-    ) = args
+    ) = args[:8]
+    dialect = args[8] if len(args) > 8 else None
     result = run_script(
-        source, data_dir=data_dir, sample_rows=sample_rows, timeout_s=timeout_s
+        source,
+        data_dir=data_dir,
+        sample_rows=sample_rows,
+        timeout_s=timeout_s,
+        dialect=dialect,
     )
     if not result.ok or result.output is None:
         return False
     if intent is None:
         return True
     original_output = _worker_original_output(
-        original_ref, data_dir, sample_rows, timeout_s
+        original_ref, data_dir, sample_rows, timeout_s, dialect=dialect
     )
     if original_output is None:
         return False
@@ -215,6 +228,7 @@ def _shard_verify_task(payload, resident) -> bool:
         payload.get("exec_timeout_s"),
         payload.get("statement_timeout_s"),
         payload.get("snapshot_budget", 64),
+        payload.get("dialect"),
     )
     result = executor.run_script(source)
     if not result.ok or result.output is None:
@@ -229,6 +243,7 @@ def _shard_verify_task(payload, resident) -> bool:
         payload["sample_rows"],
         payload.get("exec_timeout_s"),
         payload.get("output_cache_limit"),
+        payload.get("dialect"),
     )
     if original_output is None:
         return False
@@ -338,6 +353,8 @@ class LucidScript:
         config: Optional[LSConfig] = None,
     ):
         self.config = config or LSConfig()
+        #: the API surface every script in this system is written against
+        self.dialect = get_dialect(self.config.dialect)
         self._retrieval: Optional[RetrievalIndex] = None
         self._retrieval_query_hash: Optional[str] = None
         self._retrieval_stats = RetrievalCounters()
@@ -366,6 +383,19 @@ class LucidScript:
     #: Distinct (original, intent) pairs whose prepared state is retained.
     INTENT_CACHE_LIMIT = 4
 
+    @property
+    def _lang_dialect(self):
+        """The dialect handed to the lang layer — None keeps pandas on
+        its historical (bit-identical) default path."""
+        return None if self.dialect.name == "pandas" else self.dialect
+
+    def _check_corpus_dialect(self, supplied: str, what: str) -> None:
+        if supplied != self.dialect.name:
+            raise StandardizationError(
+                f"{what} was built for dialect {supplied!r} but this system "
+                f"is configured for {self.dialect.name!r}"
+            )
+
     def _curate(self, corpus) -> Tuple[CorpusVocabulary, CorpusCacheCounters]:
         """Resolve *corpus* (scripts | index | vocabulary) to a vocabulary.
 
@@ -375,18 +405,21 @@ class LucidScript:
         """
         before = corpus_cache_counters()
         if isinstance(corpus, CorpusIndex):
+            self._check_corpus_dialect(corpus.dialect, "the supplied corpus index")
             if self.config.verify_index:
                 corpus.verify()
             vocabulary = corpus.to_vocabulary()
         elif isinstance(corpus, CorpusVocabulary):
             vocabulary = corpus
         elif self.config.corpus_cache:
-            index = cached_index(corpus)
+            index = cached_index(corpus, dialect=self.dialect.name)
             if self.config.verify_index:
                 index.verify()
             vocabulary = index.to_vocabulary()
         else:
-            vocabulary = CorpusVocabulary.from_scripts(corpus)
+            vocabulary = CorpusVocabulary.from_scripts(
+                corpus, dialect=self._lang_dialect
+            )
         return vocabulary, corpus_cache_counters().delta(before)
 
     def _ensure_search_space(self, script: str) -> None:
@@ -405,6 +438,9 @@ class LucidScript:
         """
         if self._retrieval is None:
             return
+        self._check_corpus_dialect(
+            self._retrieval.store.dialect, "the supplied retrieval index"
+        )
         record = self._retrieval.store.get_or_parse(script)
         if record is None:
             raise StandardizationError(
@@ -470,12 +506,13 @@ class LucidScript:
         return prepared
 
     def _shared_executor(self) -> Optional[IncrementalExecutor]:
-        """One incremental executor per (data_dir, sample_rows) setting.
+        """One incremental executor per (data_dir, sample_rows, dialect).
 
         Shared between the beam search and constraint verification — and
         across standardize() calls — so every phase resumes from prefixes
         any earlier phase already snapshotted.  Rebuilt if the config's
-        sampling changes (snapshots are only valid within one setting).
+        sampling (or dialect) changes — snapshots are only valid within
+        one setting.
         """
         if not self.config.incremental_exec:
             return None
@@ -485,6 +522,7 @@ class LucidScript:
             or self._executor._snapshots.capacity != self.config.snapshot_budget
             or self._executor.exec_timeout_s != self.config.exec_timeout_s
             or self._executor.statement_timeout_s != self.config.statement_timeout_s
+            or self._executor.dialect.name != self.dialect.name
         ):
             self._executor = IncrementalExecutor(
                 data_dir=self.data_dir,
@@ -492,6 +530,7 @@ class LucidScript:
                 snapshot_budget=self.config.snapshot_budget,
                 exec_timeout_s=self.config.exec_timeout_s,
                 statement_timeout_s=self.config.statement_timeout_s,
+                dialect=self.dialect,
             )
         return self._executor
 
@@ -504,7 +543,7 @@ class LucidScript:
         neighbours of *script* before scoring.
         """
         self._ensure_search_space(script)
-        return self.scorer.score_dag(parse_script(script))
+        return self.scorer.score_dag(parse_script(script, dialect=self._lang_dialect))
 
     # ------------------------------------------------------------- online phase
     def standardize(self, script: str) -> StandardizationResult:
@@ -513,8 +552,8 @@ class LucidScript:
             return self._standardize(script)
 
     def _standardize(self, script: str) -> StandardizationResult:
-        normalized = lemmatize(script)
-        dag = parse_script(normalized, lemmatized=True)
+        normalized = lemmatize(script, dialect=self._lang_dialect)
+        dag = parse_script(normalized, lemmatized=True, dialect=self._lang_dialect)
         if not dag.statements:
             raise StandardizationError("input script has no statements")
         self._ensure_search_space(normalized)
@@ -566,6 +605,7 @@ class LucidScript:
                 data_dir=self.data_dir,
                 sample_rows=self.config.sample_rows,
                 timeout_s=self.config.exec_timeout_s,
+                dialect=self.dialect,
             )
         return result.output if result.ok else None
 
@@ -723,7 +763,7 @@ class LucidScript:
             None
             if self.intent is None
             else _original_output_fingerprint(
-                original_source, self.data_dir, config.sample_rows
+                original_source, self.data_dir, config.sample_rows, config.dialect
             )
         )
         original_sha = shards.sha1_text(original_source)
@@ -764,6 +804,7 @@ class LucidScript:
                                 "verify_intent": config.verify_intent,
                                 "output_cache_limit": config.worker_output_cache_limit,
                                 "intent_cache_limit": config.worker_intent_cache_limit,
+                                "dialect": config.dialect,
                             },
                             sources=(
                                 (original_sha, original_source, None, None),

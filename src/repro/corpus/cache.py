@@ -43,7 +43,7 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass
 from hashlib import sha1
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from .._lru import LRUCache
 from .index import CorpusIndex
@@ -74,12 +74,16 @@ ADDR_MEMO_LIMIT = 4 * SHARED_STORE_LIMIT
 _LOCK = threading.RLock()
 
 _SHARED_CAPACITY: Optional[int] = SHARED_STORE_LIMIT
-_SHARED_STORE = ScriptStore(capacity=_SHARED_CAPACITY)
-_SHARED_RETRIEVAL: Optional[RetrievalIndex] = None
+#: one shared store per dialect — corpora never mix dialects, so the
+#: warm layers are partitioned by dialect name (created lazily)
+_SHARED_STORES: Dict[str, ScriptStore] = {}
+_SHARED_RETRIEVALS: Dict[str, RetrievalIndex] = {}
 _INDEX_CACHE: LRUCache = LRUCache(INDEX_CACHE_LIMIT, thread_safe=True)
-#: raw script text -> content address (or ``"failed:"`` marker).  Keyed
-#: by the string itself: Python interns the hash in the str object, so a
-#: warm key computation never re-hashes script bytes.
+#: ``(dialect, raw script text)`` -> content address (or ``"failed:"``
+#: marker).  Keyed per dialect because lemmatization is dialect-driven:
+#: the same bytes can canonicalize differently under two surfaces.  The
+#: str component keeps its interned hash, so a warm key computation
+#: never re-hashes script bytes.
 _ADDR_MEMO: LRUCache = LRUCache(ADDR_MEMO_LIMIT, thread_safe=True)
 
 
@@ -109,51 +113,59 @@ class CorpusCacheCounters:
         )
 
 
-def shared_store() -> ScriptStore:
-    """The process-wide content-addressed parse cache (LRU-bounded)."""
+def shared_store(dialect: str = "pandas") -> ScriptStore:
+    """The process-wide content-addressed parse cache (LRU-bounded).
+
+    One store per dialect, created lazily; the default is the historical
+    pandas store.
+    """
     with _LOCK:
-        return _SHARED_STORE
+        store = _SHARED_STORES.get(dialect)
+        if store is None:
+            store = ScriptStore(capacity=_SHARED_CAPACITY, dialect=dialect)
+            _SHARED_STORES[dialect] = store
+        return store
 
 
 def configure_shared_store(capacity: Optional[int]) -> ScriptStore:
-    """Rebound the shared store (None = unbounded) and reset the cache.
+    """Rebound the shared stores (None = unbounded) and reset the cache.
 
-    Rebuilds the store at the new capacity: changing the bound of a
-    live LRU mid-flight would make eviction order depend on when the
-    reconfiguration happened, so the warm layers restart cold instead.
+    Rebuilds every dialect's store at the new capacity: changing the
+    bound of a live LRU mid-flight would make eviction order depend on
+    when the reconfiguration happened, so the warm layers restart cold
+    instead.  Returns the (fresh) pandas store.
     """
     global _SHARED_CAPACITY
     with _LOCK:
         _SHARED_CAPACITY = capacity
         clear_corpus_cache()
-        return _SHARED_STORE
+        return shared_store()
 
 
-def shared_retrieval_index() -> RetrievalIndex:
+def shared_retrieval_index(dialect: str = "pandas") -> RetrievalIndex:
     """The process-wide retrieval pool over the shared store.
 
     Created lazily and empty; callers (harness prewarm, the CLI) add
     pool scripts through the normal ``add_script`` delta path, and every
-    subsequent request shares the buckets.
+    subsequent request shares the buckets.  One pool per dialect.
 
     Invariant: the returned index is always built over the *current*
     shared store — ``shared_retrieval_index().store is shared_store()``
-    holds after any configure/clear sequence.  A stale pin (e.g. a
-    cached module-level reference created before a
+    holds after any configure/clear sequence (per dialect).  A stale pin
+    (e.g. a cached module-level reference created before a
     ``configure_shared_store``) is detected and rebuilt here rather than
     silently retrieving against the orphaned store.
     """
-    global _SHARED_RETRIEVAL
     with _LOCK:
-        if (
-            _SHARED_RETRIEVAL is None
-            or _SHARED_RETRIEVAL.store is not _SHARED_STORE
-        ):
-            _SHARED_RETRIEVAL = RetrievalIndex(store=_SHARED_STORE)
-        return _SHARED_RETRIEVAL
+        store = shared_store(dialect)
+        retrieval = _SHARED_RETRIEVALS.get(dialect)
+        if retrieval is None or retrieval.store is not store:
+            retrieval = RetrievalIndex(store=store)
+            _SHARED_RETRIEVALS[dialect] = retrieval
+        return retrieval
 
 
-def _script_address(script: str) -> str:
+def _script_address(script: str, dialect: str = "pandas") -> str:
     """The content address of one raw corpus script (memoized).
 
     On a memo miss the script is parsed *into the shared store*, so the
@@ -163,46 +175,50 @@ def _script_address(script: str) -> str:
     ``failed:`` key derived from their raw bytes.
     """
     with _LOCK:
-        address = _ADDR_MEMO.get(script)
+        memo_key = (dialect, script)
+        address = _ADDR_MEMO.get(memo_key)
         if address is not None:
             _COUNTERS["key_fast"] += 1
             return address
         _COUNTERS["key_slow"] += 1
-        record = _SHARED_STORE.get_or_parse(script)
+        record = shared_store(dialect).get_or_parse(script)
         if record is not None:
             address = record.content_hash
         else:
             address = "failed:" + sha1(script.encode()).hexdigest()
-        _ADDR_MEMO[script] = address
+        _ADDR_MEMO[memo_key] = address
         return address
 
 
-def _corpus_key(scripts: Sequence[str]) -> str:
-    """Cache key of one corpus: its content addresses, in corpus order."""
+def _corpus_key(scripts: Sequence[str], dialect: str = "pandas") -> str:
+    """Cache key of one corpus: dialect + content addresses, in order."""
     digest = sha1()
+    digest.update(dialect.encode())
+    digest.update(b"\x00")
     for script in scripts:
-        digest.update(_script_address(script).encode())
+        digest.update(_script_address(script, dialect).encode())
         digest.update(b"\x00")
     digest.update(str(len(scripts)).encode())
     return digest.hexdigest()
 
 
-def corpus_key(scripts: Sequence[str]) -> str:
+def corpus_key(scripts: Sequence[str], dialect: str = "pandas") -> str:
     """Public content address of a corpus (ordered script addresses).
 
     Two corpora share a key iff their scripts are byte-identical in the
-    same order — the identity the server engine uses for warm-state
-    admission and cross-request wave coalescing.
+    same order *and* were prepared under the same dialect — the identity
+    the server engine uses for warm-state admission and cross-request
+    wave coalescing.
     """
     with _LOCK:
-        return _corpus_key(scripts)
+        return _corpus_key(scripts, dialect)
 
 
 #: module-level counters that outlive individual cache objects
 _COUNTERS = {"key_fast": 0, "key_slow": 0}
 
 
-def cached_index(scripts: Sequence[str]) -> CorpusIndex:
+def cached_index(scripts: Sequence[str], dialect: str = "pandas") -> CorpusIndex:
     """The warm index for this exact corpus sequence (built on miss).
 
     Raises :class:`~repro.lang.errors.ScriptError` when no script
@@ -211,25 +227,30 @@ def cached_index(scripts: Sequence[str]) -> CorpusIndex:
     private vocabulary via ``to_vocabulary()`` (which copies).
     """
     with _LOCK:
-        key = _corpus_key(scripts)
+        key = _corpus_key(scripts, dialect)
         index = _INDEX_CACHE.get(key)
         if index is not None:
             return index
-        index = CorpusIndex.from_scripts(scripts, store=_SHARED_STORE)
+        index = CorpusIndex.from_scripts(scripts, store=shared_store(dialect))
         _INDEX_CACHE[key] = index
         return index
 
 
 def corpus_cache_counters() -> CorpusCacheCounters:
     with _LOCK:
-        counters = _SHARED_STORE.counters
+        hits = parses = failures = evictions = 0
+        for store in _SHARED_STORES.values():
+            hits += store.counters.hits
+            parses += store.counters.parses
+            failures += store.counters.failures
+            evictions += store.counters.evictions
         return CorpusCacheCounters(
             index_hits=_INDEX_CACHE.hits,
             index_misses=_INDEX_CACHE.misses,
-            script_hits=counters.hits,
-            script_parses=counters.parses,
-            script_failures=counters.failures,
-            script_evictions=counters.evictions,
+            script_hits=hits,
+            script_parses=parses,
+            script_failures=failures,
+            script_evictions=evictions,
             key_fast=_COUNTERS["key_fast"],
             key_slow=_COUNTERS["key_slow"],
         )
@@ -237,10 +258,9 @@ def corpus_cache_counters() -> CorpusCacheCounters:
 
 def clear_corpus_cache() -> None:
     """Drop every warm-cache layer (tests and memory-pressure hooks)."""
-    global _SHARED_STORE, _SHARED_RETRIEVAL
     with _LOCK:
-        _SHARED_STORE = ScriptStore(capacity=_SHARED_CAPACITY)
-        _SHARED_RETRIEVAL = None
+        _SHARED_STORES.clear()
+        _SHARED_RETRIEVALS.clear()
         _INDEX_CACHE.clear()
         _INDEX_CACHE.hits = 0
         _INDEX_CACHE.misses = 0

@@ -101,8 +101,17 @@ class MembershipIndex:
     references, and the stat-scan refresh protocol — lives here once.
     """
 
-    def __init__(self, store: Optional[ScriptStore] = None):
-        self.store = store if store is not None else ScriptStore()
+    def __init__(
+        self, store: Optional[ScriptStore] = None, dialect: Optional[str] = None
+    ):
+        if store is not None and dialect is not None and store.dialect != dialect:
+            raise ValueError(
+                f"store dialect {store.dialect!r} does not match "
+                f"requested index dialect {dialect!r}"
+            )
+        self.store = (
+            store if store is not None else ScriptStore(dialect=dialect or "pandas")
+        )
         #: script_id -> content hash; insertion order IS the corpus order
         self._members: Dict[int, str] = {}
         self._next_id = 0
@@ -115,15 +124,23 @@ class MembershipIndex:
         self.corpus_dir: Optional[str] = None
         self._files: Dict[str, _FileEntry] = {}
 
+    @property
+    def dialect(self) -> str:
+        """The API dialect every member script was parsed under."""
+        return self.store.dialect
+
     # ------------------------------------------------------------ constructors
     @classmethod
     def from_scripts(
-        cls, scripts: Iterable[str], store: Optional[ScriptStore] = None
+        cls,
+        scripts: Iterable[str],
+        store: Optional[ScriptStore] = None,
+        dialect: Optional[str] = None,
     ) -> "MembershipIndex":
         """Index raw script sources, mirroring
         :meth:`CorpusVocabulary.from_scripts` semantics: unparseable
         scripts are skipped, an all-broken corpus raises ScriptError."""
-        index = cls(store=store)
+        index = cls(store=store, dialect=dialect)
         for script in scripts:
             index.add_script(script)
         if not index._members:
@@ -179,6 +196,11 @@ class MembershipIndex:
         preserve saved ids (the manifest references them); live adds
         always allocate the next id, keeping member order = id order.
         """
+        if record.dialect != self.dialect:
+            raise ValueError(
+                f"cannot admit a {record.dialect!r}-dialect script into a "
+                f"{self.dialect!r}-dialect index: corpora never mix dialects"
+            )
         if script_id is None:
             script_id = self._next_id
         elif script_id in self._members:
@@ -328,8 +350,10 @@ class MembershipIndex:
 class CorpusIndex(MembershipIndex):
     """Exact, incrementally maintained corpus sufficient statistics."""
 
-    def __init__(self, store: Optional[ScriptStore] = None):
-        super().__init__(store=store)
+    def __init__(
+        self, store: Optional[ScriptStore] = None, dialect: Optional[str] = None
+    ):
+        super().__init__(store=store, dialect=dialect)
 
         # aggregate counters (zero entries pruned on removal)
         self.edge_counts: Counter = Counter()
@@ -501,7 +525,9 @@ class CorpusIndex(MembershipIndex):
         """
         if not self._members:
             return
-        fresh = CorpusVocabulary.from_scripts(self.sources())
+        fresh = CorpusVocabulary.from_scripts(
+            self.sources(), dialect=self.store._lang_dialect
+        )
         mine = self.to_vocabulary()
         self._compare("edge_counts", mine.edge_counts, fresh.edge_counts)
         self._compare("onegram_counts", mine.onegram_counts, fresh.onegram_counts)

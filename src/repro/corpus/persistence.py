@@ -15,6 +15,7 @@ is bit-identical to the index that was saved.
 from __future__ import annotations
 
 import json
+import sys
 from collections import Counter
 from typing import Dict, Optional
 
@@ -38,6 +39,22 @@ __all__ = [
 _INDEX_FORMAT_VERSION = 1
 
 
+def _snapshot_dialect(payload: dict, what: str) -> str:
+    """The snapshot's dialect, upgrading pre-dialect snapshots in place.
+
+    Snapshots written before the dialect subsystem carry no ``dialect``
+    field; they are by construction pandas corpora, so they load as
+    ``"pandas"`` with a one-line note rather than an error.
+    """
+    dialect = payload.get("dialect")
+    if dialect is None:
+        sys.stderr.write(
+            f"note: {what} snapshot predates dialect tagging; loading as 'pandas'\n"
+        )
+        return "pandas"
+    return str(dialect)
+
+
 def _record_to_dict(record: ScriptRecord) -> dict:
     return {
         "source": record.source,
@@ -58,7 +75,9 @@ def _record_to_dict(record: ScriptRecord) -> dict:
     }
 
 
-def _record_from_dict(content_hash: str, payload: dict) -> ScriptRecord:
+def _record_from_dict(
+    content_hash: str, payload: dict, dialect: str = "pandas"
+) -> ScriptRecord:
     onegram_counts = Counter(payload["onegram_counts"])
     saved_signature = payload.get("signature")
     if saved_signature is not None:
@@ -90,6 +109,7 @@ def _record_from_dict(content_hash: str, payload: dict) -> ScriptRecord:
             for sig, values in payload["position_lists"].items()
         },
         signature=signature,
+        dialect=dialect,
     )
 
 
@@ -104,6 +124,7 @@ def index_to_dict(index: MembershipIndex) -> dict:
     return {
         "format_version": _INDEX_FORMAT_VERSION,
         "kind": "retrieval" if isinstance(index, RetrievalIndex) else "corpus",
+        "dialect": index.dialect,
         "corpus_dir": index.corpus_dir,
         "n_failures": index.n_failures,
         "members": [
@@ -126,7 +147,7 @@ def index_to_dict(index: MembershipIndex) -> dict:
     }
 
 
-def _restore_members(index: MembershipIndex, payload: dict) -> None:
+def _restore_members(index: MembershipIndex, payload: dict, dialect: str) -> None:
     """Re-admit a snapshot's members through the live delta path.
 
     In saved order, with their saved ids, so every aggregate and
@@ -134,7 +155,7 @@ def _restore_members(index: MembershipIndex, payload: dict) -> None:
     them live — there is no second, drift-prone restore path.
     """
     records: Dict[str, ScriptRecord] = {
-        content_hash: _record_from_dict(content_hash, record_payload)
+        content_hash: _record_from_dict(content_hash, record_payload, dialect)
         for content_hash, record_payload in payload["records"].items()
     }
     for record in records.values():
@@ -161,8 +182,9 @@ def index_from_dict(payload: dict, store: Optional[ScriptStore] = None) -> Corpu
         raise ValueError(
             f"snapshot holds a {payload['kind']!r} index, not a corpus index"
         )
-    index = CorpusIndex(store=store)
-    _restore_members(index, payload)
+    dialect = _snapshot_dialect(payload, "corpus index")
+    index = CorpusIndex(store=store, dialect=dialect)
+    _restore_members(index, payload, dialect)
     return index
 
 
@@ -188,8 +210,9 @@ def retrieval_index_from_dict(
             f"snapshot holds a {payload.get('kind', 'corpus')!r} index, "
             "not a retrieval index"
         )
-    index = RetrievalIndex(store=store)
-    _restore_members(index, payload)
+    dialect = _snapshot_dialect(payload, "retrieval index")
+    index = RetrievalIndex(store=store, dialect=dialect)
+    _restore_members(index, payload, dialect)
     return index
 
 

@@ -100,8 +100,10 @@ class RetrievalIndex(MembershipIndex):
     leaves.
     """
 
-    def __init__(self, store: Optional[ScriptStore] = None):
-        super().__init__(store=store)
+    def __init__(
+        self, store: Optional[ScriptStore] = None, dialect: Optional[str] = None
+    ):
+        super().__init__(store=store, dialect=dialect)
         self._signatures: Dict[str, ScriptSignature] = {}
         self._bands: Dict[Tuple[int, ...], Set[str]] = {}
         self._schema_posts: Dict[str, Set[str]] = {}
@@ -254,8 +256,9 @@ class RetrievalIndex(MembershipIndex):
         return corpus
 
     # ------------------------------------------------------------------- stats
-    def stats(self) -> Dict[str, int]:
+    def stats(self) -> Dict[str, object]:
         return {
+            "dialect": self.dialect,
             "n_scripts": len(self._members),
             "n_unique_scripts": len(self._signatures),
             "n_band_buckets": len(self._bands),

@@ -72,9 +72,15 @@ class ScriptRecord:
     #: retrieval signature (minhash / vocab / schema features), a pure
     #: function of (content_hash, source, onegram_counts)
     signature: ScriptSignature
+    #: API dialect the script was lemmatized/parsed under; indexes refuse
+    #: to mix records of different dialects (trailing field with a default
+    #: so pre-dialect snapshots and callers keep working)
+    dialect: str = "pandas"
 
     @classmethod
-    def from_dag(cls, content_hash: str, source: str, dag: ScriptDAG) -> "ScriptRecord":
+    def from_dag(
+        cls, content_hash: str, source: str, dag: ScriptDAG, dialect: str = "pandas"
+    ) -> "ScriptRecord":
         successors: Dict[str, List[str]] = {}
         for edge in dag.inter_edges():
             successors.setdefault(edge.source, []).append(edge.target)
@@ -103,6 +109,7 @@ class ScriptRecord:
             template_slots=slots,
             position_lists=positions,
             signature=signature_from_source(content_hash, source, onegram_counts),
+            dialect=dialect,
         )
 
 
@@ -134,12 +141,24 @@ class ScriptStore:
     is hit (counted in ``counters.evictions``), and the raw-text memo is
     held at twice the cap.  ``None`` (the per-index default) keeps every
     record for the life of the store.
+
+    ``dialect`` names the :class:`~repro.dialects.ApiDialect` every
+    script in this store is lemmatized and parsed under; a store never
+    mixes dialects (the process-wide cache keeps one store per dialect).
     """
 
-    def __init__(self, capacity: Optional[int] = None):
+    def __init__(self, capacity: Optional[int] = None, dialect: str = "pandas"):
         if capacity is not None and capacity < 1:
             raise ValueError(f"store capacity must be >= 1 when set, got {capacity}")
         self.capacity = capacity
+        self.dialect = dialect
+        if dialect == "pandas":
+            # None keeps the lang layer on its historical pandas path
+            self._lang_dialect = None
+        else:
+            from ..dialects import get_dialect
+
+            self._lang_dialect = get_dialect(dialect)
         self._records: Union[Dict[str, ScriptRecord], LRUCache] = (
             {} if capacity is None else LRUCache(capacity)
         )
@@ -196,7 +215,7 @@ class ScriptStore:
                 self.counters.lemma_hits += 1
                 return record
         try:
-            lemmatized = lemmatize(raw_source)
+            lemmatized = lemmatize(raw_source, dialect=self._lang_dialect)
         except ScriptError:
             self.counters.failures += 1
             return None
@@ -207,11 +226,11 @@ class ScriptStore:
             self.counters.hits += 1
             return record
         try:
-            dag = parse_script(lemmatized, lemmatized=True)
+            dag = parse_script(lemmatized, lemmatized=True, dialect=self._lang_dialect)
         except ScriptError:  # pragma: no cover - lemmatize already parsed
             self.counters.failures += 1
             return None
         self.counters.parses += 1
-        record = ScriptRecord.from_dag(content_hash, lemmatized, dag)
+        record = ScriptRecord.from_dag(content_hash, lemmatized, dag, self.dialect)
         self._remember(record)
         return record

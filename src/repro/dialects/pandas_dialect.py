@@ -1,0 +1,30 @@
+"""The default dialect: the historical pandas surface, extracted verbatim.
+
+Everything here mirrors what ``sandbox/runner.py`` hardcoded before the
+dialect layer existed — same substrate module, same allowed imports,
+same ``read_csv`` interception, same ``df``-first output capture — so
+the extraction is bit-identical by construction.  The ``verify_dialect``
+audit replays a standardization fixture recorded with the pre-refactor
+pipeline to prove it stays that way.
+"""
+
+from __future__ import annotations
+
+from .. import minipandas
+from .base import ApiDialect
+
+__all__ = ["PandasDialect"]
+
+
+class PandasDialect(ApiDialect):
+    """``import pandas`` scripts over CSV inputs, minipandas substrate."""
+
+    name = "pandas"
+    module_name = "pandas"
+    loader_names = frozenset({"read_csv"})
+    canonical_base = "df"
+    output_variable = "df"
+    extra_modules = ("numpy", "math", "re", "random")
+
+    def api_module(self):
+        return minipandas

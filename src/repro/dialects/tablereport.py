@@ -1,0 +1,39 @@
+"""The second registered dialect: ``tablereport`` scripts.
+
+This is the generality proof for the dialect layer — a different root
+module, a different loader entry point, a different canonical variable,
+a wrapped (non-DataFrame) working object, and a distinct output
+convention (``report``), all plugged in through the same
+:class:`~repro.dialects.base.ApiDialect` surface the pandas default
+uses.  Note what it does *not* need: no changes to atoms, DAG parsing,
+entropy scoring, beam search, corpus indexing, or the server.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from . import tablereport_api
+from .base import ApiDialect, TableLoader
+
+__all__ = ["TablereportDialect"]
+
+
+class TablereportDialect(ApiDialect):
+    """``import tablereport`` scripts over design CSVs, stub-API substrate."""
+
+    name = "tablereport"
+    module_name = "tablereport"
+    loader_names = frozenset({"load_design"})
+    canonical_base = "design"
+    output_variable = "report"
+    # deliberately narrower than pandas: no numpy on this surface, so
+    # the module-table leakage fix is observable per-dialect
+    extra_modules = ("math", "re", "random")
+
+    def api_module(self):
+        return tablereport_api
+
+    def make_loader(self, data_dir: Optional[str], sample_rows: Optional[int]):
+        # loaded tables are wrapped into the dialect's working object
+        return TableLoader(data_dir, sample_rows, wrap=tablereport_api.Design)

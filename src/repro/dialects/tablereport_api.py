@@ -1,0 +1,92 @@
+"""``tablereport`` — a stub EDA-flavored API proving dialect generality.
+
+Modeled on the OpenROAD script-corpus shape (ROADMAP open item 1): one
+API object (a placed-cell :class:`Design`) loaded from an artifact,
+mutated through a small chainable surface, and summarized into a
+checkable report table.  Like ``minipandas`` stands in for pandas, this
+module stands in for the real EDA tool: small enough to ship inside the
+repo, real enough that a corpus of scripts against it has genuine
+stylistic variance to standardize.
+
+The report is a :class:`~repro.minipandas.DataFrame`, so the whole
+intent stack (fingerprints, Jaccard comparison, prepared intents) works
+on tablereport outputs unchanged.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from .. import minipandas
+from ..minipandas import DataFrame
+
+__all__ = ["Design", "load_design"]
+
+#: columns a design table is expected to carry
+DESIGN_COLUMNS = ("cell", "layer", "x", "y", "cap", "slack", "fanout", "placed")
+
+
+class Design:
+    """A placed design: rows are cells, columns are physical attributes.
+
+    Every operation returns a new :class:`Design` (chainable, no
+    in-place mutation), mirroring how report-driven EDA scripts thread
+    one object through a fixed-up pipeline before reporting.
+    """
+
+    def __init__(self, table: DataFrame):
+        self._table = table
+
+    # -------------------------------------------------------------- fix-up ops
+    def fill_missing_caps(self) -> "Design":
+        """Impute missing capacitance (and any other numeric gaps) with
+        the column mean."""
+        return Design(self._table.fillna(self._table.mean()))
+
+    def drop_unplaced(self) -> "Design":
+        """Keep only cells the placer actually placed."""
+        return Design(self._table[self._table["placed"] == 1])
+
+    def dedupe_cells(self) -> "Design":
+        """Drop exact duplicate cell rows (re-run artifacts)."""
+        return Design(self._table.drop_duplicates())
+
+    def keep_layer(self, layer: str) -> "Design":
+        """Restrict the design to one routing layer."""
+        return Design(self._table[self._table["layer"] == layer])
+
+    def prune_slack(self, limit: float) -> "Design":
+        """Drop cells whose timing slack is below *limit*."""
+        return Design(self._table[self._table["slack"] >= limit])
+
+    def drop_high_fanout(self, threshold: int) -> "Design":
+        """Drop nets fanning out beyond *threshold* (to be buffered
+        separately)."""
+        return Design(self._table[self._table["fanout"] <= threshold])
+
+    # ------------------------------------------------------------------ report
+    def timing_report(self) -> DataFrame:
+        """The checkable output: cells ordered worst-slack-first."""
+        return self._table.sort_values("slack").reset_index(drop=True)
+
+    # --------------------------------------------------------------- plumbing
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __deepcopy__(self, memo) -> "Design":
+        # incremental-executor snapshots deep-copy unknown namespace
+        # values; the wrapped table must come along
+        return Design(copy.deepcopy(self._table, memo))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Design cells={len(self._table)}>"
+
+
+def load_design(path: str, **kwargs) -> Design:
+    """Load a design table from a CSV artifact.
+
+    Inside the sandbox this entry point is intercepted by the dialect's
+    loader (data-dir resolution + shared parse cache); this direct
+    implementation serves generators and tests.
+    """
+    return Design(minipandas.read_csv(path, **kwargs))

@@ -1,0 +1,160 @@
+"""Deterministic generators for the ``tablereport`` script corpus.
+
+Everything here is driven by the same pure-Python LCG the verify
+fixtures use, so the bundled corpus under ``examples/
+tablereport_corpus/`` and the ``verify_dialect`` tablereport case are
+reproducible byte-for-byte on any platform — regenerating with the same
+seed yields the same files.
+
+The generated scripts share one canonical pipeline (load → impute caps
+→ drop unplaced → dedupe → timing report) under genuine stylistic
+variance: variable naming, import aliasing, op ordering, and optional
+extra fix-up passes.  That is exactly the "many scripts, one artifact,
+one checkable output" shape the standardizer consumes.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Tuple
+
+__all__ = [
+    "design_csv",
+    "fixture_design_csv",
+    "fixture_scripts",
+    "generate_corpus",
+    "write_corpus",
+]
+
+_LAYERS = ["m1", "m2", "m3", "m4"]
+
+
+def _lcg(seed: int):
+    state = seed & 0x7FFFFFFF
+    while True:
+        state = (state * 1103515245 + 12345) % (1 << 31)
+        yield state
+
+
+def design_csv(seed: int = 41, rows: int = 120) -> str:
+    """A placed-design table: some caps missing, some cells unplaced,
+    some exact duplicate rows (re-run artifacts) for dedupe to find."""
+    rng = _lcg(seed)
+    lines = ["cell,layer,x,y,cap,slack,fanout,placed"]
+    previous = None
+    for i in range(rows):
+        if previous is not None and next(rng) % 10 == 0:
+            lines.append(previous)
+            continue
+        layer = _LAYERS[next(rng) % 4]
+        x = next(rng) % 500
+        y = next(rng) % 500
+        cap = "" if next(rng) % 8 == 0 else str(round((next(rng) % 500) / 100.0, 2))
+        slack = str(round((next(rng) % 400) / 100.0 - 2.0, 2))
+        fanout = 1 + next(rng) % 16
+        placed = 0 if next(rng) % 7 == 0 else 1
+        previous = f"u{i},{layer},{x},{y},{cap},{slack},{fanout},{placed}"
+        lines.append(previous)
+    return "\n".join(lines) + "\n"
+
+
+def fixture_design_csv() -> str:
+    """The design table pinned by the ``verify_dialect`` fixture."""
+    return design_csv(seed=41, rows=120)
+
+
+def _script(var: str, alias: str, ops: List[str], report_var: str = "report") -> str:
+    lines = [
+        f"import tablereport as {alias}" if alias != "tablereport" else "import tablereport",
+        f"{var} = {alias}.load_design('design.csv')",
+    ]
+    lines.extend(f"{var} = {var}.{op}" for op in ops)
+    lines.append(f"{report_var} = {var}.timing_report()")
+    return "\n".join(lines)
+
+
+_CANONICAL_OPS = ["fill_missing_caps()", "drop_unplaced()", "dedupe_cells()"]
+
+
+def fixture_scripts() -> Tuple[List[str], str]:
+    """The small corpus + messy input pinned by the verify fixture.
+
+    The input's ``prune_slack(-9.0)`` pass is a no-op on this design
+    (every slack is above -9), so deleting it leaves the output
+    untouched — the standardizer should strip it.
+    """
+    corpus = [
+        _script("design", "tr", list(_CANONICAL_OPS)),
+        _script("d", "tr", list(_CANONICAL_OPS)),
+        _script("chip", "tr", list(_CANONICAL_OPS)),
+        _script(
+            "design",
+            "tr",
+            ["fill_missing_caps()", "dedupe_cells()", "drop_unplaced()"],
+        ),
+        _script(
+            "blk",
+            "tr",
+            _CANONICAL_OPS + ["drop_high_fanout(12)"],
+        ),
+        _script("layout", "tablereport", list(_CANONICAL_OPS)),
+    ]
+    input_script = "\n".join(
+        [
+            "import tablereport as tr",
+            "mychip = tr.load_design('design.csv')",
+            "mychip = mychip.fill_missing_caps()",
+            "mychip = mychip.prune_slack(-9.0)",
+            "mychip = mychip.drop_unplaced()",
+            "mychip = mychip.dedupe_cells()",
+            "report = mychip.timing_report()",
+        ]
+    )
+    return corpus, input_script
+
+
+def generate_corpus(seed: int = 20, n: int = 30) -> List[str]:
+    """~n stylistically varied scripts over the canonical pipeline."""
+    rng = _lcg(seed)
+    variables = ["design", "d", "chip", "blk", "layout", "top", "die"]
+    report_vars = ["report", "report", "report", "rpt", "timing"]
+    extras = [
+        None,
+        None,
+        None,
+        "prune_slack(0.0)",
+        "prune_slack(0.25)",
+        "keep_layer('m1')",
+        "keep_layer('m2')",
+        "drop_high_fanout(8)",
+        "drop_high_fanout(12)",
+    ]
+    scripts = []
+    for _ in range(n):
+        var = variables[next(rng) % len(variables)]
+        alias = "tablereport" if next(rng) % 5 == 0 else "tr"
+        ops = list(_CANONICAL_OPS)
+        if next(rng) % 4 == 0:  # swap the two cleanup passes
+            ops[1], ops[2] = ops[2], ops[1]
+        extra = extras[next(rng) % len(extras)]
+        if extra is not None:
+            ops.insert(1 + next(rng) % (len(ops) - 1), extra)
+        report_var = report_vars[next(rng) % len(report_vars)]
+        scripts.append(_script(var, alias, ops, report_var))
+    return scripts
+
+
+def write_corpus(directory: str, seed: int = 20, n: int = 30) -> List[str]:
+    """Write ``design.csv`` plus the generated scripts; returns paths."""
+    os.makedirs(directory, exist_ok=True)
+    written = []
+    csv_path = os.path.join(directory, "design.csv")
+    with open(csv_path, "w") as handle:
+        handle.write(design_csv())
+    written.append(csv_path)
+    for i, script in enumerate(generate_corpus(seed=seed, n=n)):
+        path = os.path.join(directory, f"prep_{i:02d}.py")
+        with open(path, "w") as handle:
+            handle.write(script + "\n")
+        written.append(path)
+    return written

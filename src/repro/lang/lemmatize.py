@@ -47,24 +47,37 @@ def _check_straight_line(tree: ast.Module) -> None:
             )
 
 
-def _read_csv_path(call: ast.Call) -> Optional[str]:
-    """Return the constant path argument of a read_csv call, if present."""
+#: The historical (pandas) call surface, used whenever no dialect is given.
+_DEFAULT_LOADER_NAMES = frozenset({"read_csv"})
+_DEFAULT_CANONICAL_BASE = "df"
+
+
+def _loader_surface(dialect=None):
+    """(loader_names, canonical_base) for *dialect* (None = pandas)."""
+    if dialect is None:
+        return _DEFAULT_LOADER_NAMES, _DEFAULT_CANONICAL_BASE
+    return dialect.loader_names, dialect.canonical_base
+
+
+def _read_csv_path(call: ast.Call, loader_names=_DEFAULT_LOADER_NAMES) -> Optional[str]:
+    """Return the constant path argument of a loader call, if present."""
     func = call.func
     name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", None)
-    if name != "read_csv":
+    if name not in loader_names:
         return None
     if call.args and isinstance(call.args[0], ast.Constant):
         return str(call.args[0].value)
     return "<dynamic>"
 
 
-def read_csv_files(source: str) -> List[str]:
-    """List the distinct CSV paths a script loads, in first-read order."""
+def read_csv_files(source: str, dialect=None) -> List[str]:
+    """List the distinct data paths a script loads, in first-read order."""
+    loader_names, _base = _loader_surface(dialect)
     tree = _parse(source)
     paths: List[str] = []
     for node in ast.walk(tree):
         if isinstance(node, ast.Call):
-            path = _read_csv_path(node)
+            path = _read_csv_path(node, loader_names)
             if path is not None and path not in paths:
                 paths.append(path)
     return paths
@@ -82,8 +95,10 @@ class _Renamer(ast.NodeTransformer):
         return node
 
 
-def _build_rename_map(tree: ast.Module) -> Dict[str, str]:
-    """Map dataframe variable names to canonical df/df2/... names."""
+def _build_rename_map(tree: ast.Module, dialect=None) -> Dict[str, str]:
+    """Map loader-result variable names to the dialect's canonical
+    ``df``/``df2``/... (pandas) or ``design``/``design2``/... names."""
+    loader_names, base = _loader_surface(dialect)
     canonical_by_path: Dict[str, str] = {}
     rename: Dict[str, str] = {}
     for node in tree.body:
@@ -94,11 +109,11 @@ def _build_rename_map(tree: ast.Module) -> Dict[str, str]:
             continue
         value = node.value
         if isinstance(value, ast.Call):
-            path = _read_csv_path(value)
+            path = _read_csv_path(value, loader_names)
             if path is not None:
                 if path not in canonical_by_path:
                     suffix = "" if not canonical_by_path else str(len(canonical_by_path) + 1)
-                    canonical_by_path[path] = f"df{suffix}"
+                    canonical_by_path[path] = f"{base}{suffix}"
                 rename[target.id] = canonical_by_path[path]
         elif isinstance(value, ast.Name) and value.id in rename:
             # plain alias: train = df
@@ -113,8 +128,12 @@ def split_statements(source: str) -> List[str]:
     return [ast.unparse(node) for node in tree.body]
 
 
-def lemmatize(source: str) -> str:
+def lemmatize(source: str, dialect=None) -> str:
     """Return the canonical (lemmatized) form of *source*.
+
+    *dialect* (an :class:`~repro.dialects.ApiDialect`, or None for the
+    historical pandas behavior) supplies the loader entry points and the
+    canonical variable stem; everything else is surface-independent.
 
     Raises
     ------
@@ -125,7 +144,7 @@ def lemmatize(source: str) -> str:
     """
     tree = _parse(source)
     _check_straight_line(tree)
-    mapping = _build_rename_map(tree)
+    mapping = _build_rename_map(tree, dialect)
     if mapping:
         tree = _Renamer(mapping).visit(tree)
         ast.fix_missing_locations(tree)

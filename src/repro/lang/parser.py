@@ -182,12 +182,15 @@ class Statement:
     is_read_csv: bool
 
     @classmethod
-    def from_ast(cls, index: int, node: ast.stmt) -> "Statement":
+    def from_ast(cls, index: int, node: ast.stmt, dialect=None) -> "Statement":
         source = ast.unparse(node)
         onegrams, intra_edges = extract_onegrams(node)
         reads, writes = _variables(node)
         is_import = isinstance(node, (ast.Import, ast.ImportFrom))
-        is_read_csv = any("read_csv" in a.signature for a in onegrams)
+        loader_names = ("read_csv",) if dialect is None else dialect.loader_names
+        is_read_csv = any(
+            loader in a.signature for a in onegrams for loader in loader_names
+        )
         return cls(
             index=index,
             source=source,
@@ -201,7 +204,7 @@ class Statement:
         )
 
     @classmethod
-    def from_source(cls, index: int, source: str) -> "Statement":
+    def from_source(cls, index: int, source: str, dialect=None) -> "Statement":
         try:
             tree = ast.parse(source)
         except SyntaxError as exc:
@@ -210,7 +213,7 @@ class Statement:
             raise ScriptParseError(
                 f"expected a single statement, got {len(tree.body)}: {source!r}"
             )
-        return cls.from_ast(index, tree.body[0])
+        return cls.from_ast(index, tree.body[0], dialect=dialect)
 
     @property
     def protected(self) -> bool:
@@ -610,18 +613,21 @@ def _strip_zeros(changes: Dict[Tuple[str, str], int]) -> Dict[Tuple[str, str], i
     return {edge: change for edge, change in changes.items() if change}
 
 
-def parse_script(source: str, lemmatized: bool = False) -> ScriptDAG:
+def parse_script(source: str, lemmatized: bool = False, dialect=None) -> ScriptDAG:
     """Parse *source* into its DAG representation.
 
     Lemmatization (canonical renaming + normalization) is applied first
-    unless the caller already did so.
+    unless the caller already did so.  *dialect* (None = the historical
+    pandas surface) supplies the loader entry points used for canonical
+    renaming and statement protection.
     """
-    normalized = source if lemmatized else lemmatize(source)
+    normalized = source if lemmatized else lemmatize(source, dialect=dialect)
     try:
         tree = ast.parse(normalized)
     except SyntaxError as exc:  # pragma: no cover - lemmatize already parsed
         raise ScriptParseError(str(exc)) from exc
     statements = [
-        Statement.from_ast(index, node) for index, node in enumerate(tree.body)
+        Statement.from_ast(index, node, dialect=dialect)
+        for index, node in enumerate(tree.body)
     ]
     return ScriptDAG(statements)

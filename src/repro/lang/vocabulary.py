@@ -86,16 +86,17 @@ class CorpusVocabulary:
 
     # ----------------------------------------------------------- constructors
     @classmethod
-    def from_scripts(cls, scripts: Iterable[str]) -> "CorpusVocabulary":
+    def from_scripts(cls, scripts: Iterable[str], dialect=None) -> "CorpusVocabulary":
         """Parse raw script sources (lemmatizing each) into a vocabulary.
 
         Scripts that fail to parse are skipped — real-world corpora contain
         broken notebooks — but an all-broken corpus raises ScriptError.
+        *dialect* (None = pandas) drives lemmatization's call surface.
         """
         dags, failures = [], 0
         for script in scripts:
             try:
-                dags.append(parse_script(script))
+                dags.append(parse_script(script, dialect=dialect))
             except ScriptError:
                 failures += 1
         if not dags:

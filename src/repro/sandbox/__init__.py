@@ -1,9 +1,11 @@
-"""repro.sandbox — executes data-preparation scripts against minipandas.
+"""repro.sandbox — executes API-call scripts against their dialect's shim.
 
-The execution-constraint oracle: candidate scripts are compiled and run with
-``pandas`` mapped to :mod:`repro.minipandas` and CSV paths resolved against
-a per-run data directory.  Three entry points, fastest-first for the beam
-search hot path:
+The execution-constraint oracle: candidate scripts are compiled and run
+against the module table their :class:`~repro.dialects.ApiDialect`
+declares (for the default pandas dialect, ``pandas`` maps to
+:mod:`repro.minipandas`) with loader paths resolved against a per-run
+data directory.  Three entry points, fastest-first for the beam search
+hot path:
 
 * :class:`IncrementalExecutor` — statement-level execution with prefix
   snapshots, so candidates sharing a prefix only pay for their suffix;
@@ -30,6 +32,7 @@ from .runner import (
     ExecTimeout,
     ExecutionResult,
     SandboxError,
+    SandboxImportError,
     check_executes,
     check_executes_batch,
     kill_worker_pool,
@@ -42,6 +45,7 @@ __all__ = [
     "ExecTimeout",
     "ExecutionResult",
     "SandboxError",
+    "SandboxImportError",
     "check_executes",
     "check_executes_batch",
     "kill_worker_pool",

@@ -54,14 +54,14 @@ from typing import Any, Dict, Optional, Tuple
 import numpy as np
 
 from .._lru import LRUCache
+from ..dialects import resolve_dialect
+from ..dialects.base import ModuleProxy
 from ..minipandas import DataFrame
 from ..minipandas.series import Series
 from .runner import (
     ExecTimeout,
     ExecutionResult,
-    _SandboxPandas,
     _Watchdog,
-    _select_output,
     build_sandbox_namespace,
     run_script,
     script_error_line,
@@ -106,7 +106,7 @@ def _snapshot_value(
     prior = memo.get(id(value))
     if prior is not None:
         return prior
-    if isinstance(value, (types.ModuleType, _SandboxPandas, type)):
+    if isinstance(value, (types.ModuleType, ModuleProxy, type)):
         return value  # shared sandbox substrate, never script-mutable state
     if isinstance(value, DataFrame):
         clone = value.copy()
@@ -231,6 +231,11 @@ class IncrementalExecutor:
         Wall-clock budget for each individual statement — tighter than
         the script budget when one statement is the pathology (an
         unbounded loop, a quadratic ``apply``).  None disables it.
+    dialect:
+        The API surface scripts execute against (name or
+        :class:`~repro.dialects.ApiDialect`); fixed per executor like
+        ``data_dir`` — snapshots from one surface are meaningless on
+        another.  None means pandas.
     """
 
     def __init__(
@@ -241,17 +246,19 @@ class IncrementalExecutor:
         verify: bool = False,
         exec_timeout_s: Optional[float] = None,
         statement_timeout_s: Optional[float] = None,
+        dialect=None,
     ):
         self.data_dir = data_dir
         self.sample_rows = sample_rows
         self.verify = verify
         self.exec_timeout_s = exec_timeout_s
         self.statement_timeout_s = statement_timeout_s
+        self.dialect = resolve_dialect(dialect)
         self._snapshots = LRUCache(snapshot_budget)
         self._code_cache = LRUCache(512)
-        self._base_builtins = build_sandbox_namespace(data_dir, sample_rows)[
-            "__builtins__"
-        ]
+        self._base_builtins = build_sandbox_namespace(
+            data_dir, sample_rows, dialect=self.dialect
+        )["__builtins__"]
         self._data_state = self._data_dir_state()
         self.stats = IncrementalStats()
 
@@ -325,6 +332,7 @@ class IncrementalExecutor:
             sample_rows=self.sample_rows,
             extra_globals=extra_globals,
             timeout_s=self.exec_timeout_s,
+            dialect=self.dialect,
         )
         if result.timed_out:
             self.stats.timeouts += 1
@@ -457,7 +465,9 @@ class IncrementalExecutor:
                     snapshottable = False
         namespace.pop("__builtins__", None)
         return ExecutionResult(
-            ok=True, output=_select_output(namespace, source), namespace=namespace
+            ok=True,
+            output=self.dialect.select_output(namespace, source),
+            namespace=namespace,
         )
 
     def _matches_cold(self, source: str, result: ExecutionResult) -> bool:
@@ -466,6 +476,7 @@ class IncrementalExecutor:
             data_dir=self.data_dir,
             sample_rows=self.sample_rows,
             timeout_s=self.exec_timeout_s,
+            dialect=self.dialect,
         )
         if cold.ok != result.ok:
             return False

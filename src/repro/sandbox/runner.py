@@ -1,24 +1,26 @@
 """Script execution sandbox.
 
-Runs data-preparation scripts exactly as a Kaggle notebook would, with two
-substitutions: ``import pandas as pd`` resolves to :mod:`repro.minipandas`
-(pandas is unavailable offline), and ``read_csv`` paths are resolved against
-a per-run data directory with optional row sampling (Section 5.2 (5), used
-to keep constraint checks fast on large D_IN).
+Runs API-call scripts exactly as a notebook would, against the surface
+their :class:`~repro.dialects.ApiDialect` declares: the dialect supplies
+the module table (for the default pandas dialect, ``import pandas as
+pd`` resolves to :mod:`repro.minipandas` — pandas is unavailable
+offline), the loader that resolves data paths against a per-run data
+directory with optional row sampling (Section 5.2 (5), used to keep
+constraint checks fast on large D_IN), and the output-capture
+convention.
 
 The sandbox is the oracle behind LucidScript's *execution constraint*: a
 candidate script is valid iff :func:`run_script` reports success.  Two
 higher-throughput entry points sit on top of the single-script path:
 :func:`check_executes_batch` fans a wave of candidate checks out over the
-persistent shard engine (minipandas is pure Python, so threads would be
-GIL-bound; see :mod:`repro.sandbox.shards`), and
+persistent shard engine (the substrate modules are pure Python, so
+threads would be GIL-bound; see :mod:`repro.sandbox.shards`), and
 :class:`repro.sandbox.incremental.IncrementalExecutor` resumes candidates
 from snapshots of shared statement prefixes.
 """
 
 from __future__ import annotations
 
-import ast
 import atexit
 import builtins
 import os
@@ -27,15 +29,15 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
-import numpy as np
-
-from .. import minipandas
-from .._lru import LRUCache
+from ..dialects import resolve_dialect
+from ..dialects import base as _dialect_base
+from ..dialects.base import TableLoader, _last_assigned_variable
 from ..minipandas import DataFrame
 
 __all__ = [
     "ExecutionResult",
     "SandboxError",
+    "SandboxImportError",
     "ExecTimeout",
     "BatchReport",
     "run_script",
@@ -43,18 +45,27 @@ __all__ = [
     "check_executes_batch",
 ]
 
-#: Modules scripts may import, and what they resolve to.
-_ALLOWED_MODULES = {
-    "pandas": minipandas,
-    "numpy": np,
-    "math": __import__("math"),
-    "re": __import__("re"),
-    "random": __import__("random"),
-}
-
 
 class SandboxError(Exception):
     """The sandbox itself was misused (not a script failure)."""
+
+
+class SandboxImportError(ImportError):
+    """A script imported a module outside its dialect's declared surface.
+
+    Classified (never a raw ``KeyError`` leaking out of the module
+    table) and self-describing: carries the offending module name and
+    the dialect whose surface rejected it.
+    """
+
+    def __init__(self, module: str, dialect_name: str, allowed):
+        self.module = module
+        self.dialect = dialect_name
+        surface = ", ".join(sorted(allowed))
+        super().__init__(
+            f"module {module!r} is not available inside the script sandbox: "
+            f"the {dialect_name!r} dialect's surface allows only [{surface}]"
+        )
 
 
 class ExecTimeout(BaseException):
@@ -159,104 +170,25 @@ class ExecutionResult:
         return isinstance(self.error, ExecTimeout)
 
 
-#: Parsed-CSV cache: beam search re-executes scripts against the same file
-#: dozens of times per search, and parsing dominates for large D_IN.  True
-#: LRU (hits refresh recency), keyed by (path, mtime, size, sample_rows):
-#: the full parse is cached under sample_rows=None and each sampled view is
-#: cached under its own row cap, so repeated sampled reads of a large table
-#: don't re-draw the sample every call.
-_CSV_CACHE = LRUCache(capacity=16)
+#: The dialect layer owns the shared parsed-CSV cache and loader now;
+#: these aliases bind the *same* objects (cache identity matters — tests
+#: and long-lived executors clear/inspect it through this module).
+_CSV_CACHE = _dialect_base._CSV_CACHE
+_load_table = _dialect_base.load_table
+
+#: Historical name for the dialect loader (pandas read_csv resolution).
+_ReadCsvResolver = TableLoader
+
+#: Historical name for the output-convention helper.
+_last_dataframe_variable = _last_assigned_variable
 
 
-def _load_table(path: str, sample_rows: Optional[int], **kwargs) -> DataFrame:
-    """Parsed (and optionally sampled) CSV; the caller must copy before
-    handing the frame to script code — cached objects are shared."""
-    if kwargs:
-        frame = minipandas.read_csv(path, **kwargs)  # non-default reads bypass
-        if sample_rows is not None and len(frame) > sample_rows:
-            frame = frame.sample(n=sample_rows, random_state=0)
-        return frame
-    stat = os.stat(path)
-    identity = (os.path.abspath(path), stat.st_mtime_ns, stat.st_size)
-    if sample_rows is not None:
-        sampled = _CSV_CACHE.get(identity + (sample_rows,))
-        if sampled is not None:
-            return sampled
-    full = _CSV_CACHE.get(identity + (None,))
-    if full is None:
-        full = minipandas.read_csv(path)
-        _CSV_CACHE[identity + (None,)] = full
-    if sample_rows is not None and len(full) > sample_rows:
-        sampled = full.sample(n=sample_rows, random_state=0)
-        _CSV_CACHE[identity + (sample_rows,)] = sampled
-        return sampled
-    return full
-
-
-class _ReadCsvResolver:
-    """A read_csv that maps script paths onto the run's data directory."""
-
-    def __init__(self, data_dir: Optional[str], sample_rows: Optional[int]):
-        self.data_dir = data_dir
-        self.sample_rows = sample_rows
-
-    def __call__(self, path: str, **kwargs) -> DataFrame:
-        resolved = self._resolve(path)
-        frame = _load_table(resolved, self.sample_rows, **kwargs)
-        # scripts mutate their frame; never hand out the cached object
-        return frame.copy()
-
-    def _resolve(self, path: str) -> str:
-        if self.data_dir is None:
-            return path
-        if os.path.isabs(path) and os.path.exists(path):
-            return path
-        candidate = os.path.join(self.data_dir, os.path.basename(path))
-        if os.path.exists(candidate):
-            return candidate
-        direct = os.path.join(self.data_dir, path)
-        if os.path.exists(direct):
-            return direct
-        return path  # let read_csv raise the natural FileNotFoundError
-
-
-class _SandboxPandas:
-    """Proxy module exposing minipandas with a patched read_csv."""
-
-    def __init__(self, resolver: _ReadCsvResolver):
-        self._resolver = resolver
-
-    def __getattr__(self, name: str):
-        if name == "read_csv":
-            return self._resolver
-        return getattr(minipandas, name)
-
-
-def _last_dataframe_variable(source: str) -> Optional[str]:
-    """Name of the last top-level assignment target (output convention)."""
-    try:
-        tree = ast.parse(source)
-    except SyntaxError:
-        return None
-    last = None
-    for node in tree.body:
-        if isinstance(node, ast.Assign) and len(node.targets) == 1:
-            target = node.targets[0]
-            if isinstance(target, ast.Name):
-                last = target.id
-    return last
-
-
-def _select_output(namespace: Dict[str, Any], source: str) -> Optional[DataFrame]:
-    """Pick the script's output table: 'df' by convention, else the frame
-    bound to the last assigned DataFrame variable, else any DataFrame."""
-    if isinstance(namespace.get("df"), DataFrame):
-        return namespace["df"]
-    last = _last_dataframe_variable(source)
-    if last and isinstance(namespace.get(last), DataFrame):
-        return namespace[last]
-    frames = [v for v in namespace.values() if isinstance(v, DataFrame)]
-    return frames[-1] if frames else None
+def _select_output(
+    namespace: Dict[str, Any], source: str, dialect=None
+) -> Optional[DataFrame]:
+    """Pick the script's output table per the dialect's convention
+    (for pandas: 'df' first, else the last assigned frame, else any)."""
+    return resolve_dialect(dialect).select_output(namespace, source)
 
 
 def _make_guarded_open(data_dir: Optional[str]):
@@ -288,22 +220,23 @@ def build_sandbox_namespace(
     data_dir: Optional[str] = None,
     sample_rows: Optional[int] = None,
     extra_globals: Optional[Dict[str, Any]] = None,
+    dialect=None,
 ) -> Dict[str, Any]:
     """A fresh script namespace with guarded builtins wired in.
 
     Shared by :func:`run_script` and the incremental executor so both
-    execute candidates under identical import/open/read_csv policies.
+    execute candidates under identical import/open/loader policies.  The
+    module table comes from *dialect* (name or instance; default pandas).
     """
-    resolver = _ReadCsvResolver(data_dir, sample_rows)
-    sandbox_pd = _SandboxPandas(resolver)
-    module_table = dict(_ALLOWED_MODULES)
-    module_table["pandas"] = sandbox_pd
+    resolved = resolve_dialect(dialect)
+    module_table = resolved.module_table(data_dir, sample_rows)
 
     def guarded_import(name, globals=None, locals=None, fromlist=(), level=0):
         root = name.split(".")[0]
-        if root in module_table:
+        try:
             return module_table[root]
-        raise ImportError(f"module {name!r} is not available inside the script sandbox")
+        except KeyError:
+            raise SandboxImportError(name, resolved.name, module_table) from None
 
     sandbox_builtins = dict(vars(builtins))
     sandbox_builtins["__import__"] = guarded_import
@@ -334,15 +267,16 @@ def run_script(
     sample_rows: Optional[int] = None,
     extra_globals: Optional[Dict[str, Any]] = None,
     timeout_s: Optional[float] = None,
+    dialect=None,
 ) -> ExecutionResult:
     """Execute *source* in the sandbox and capture its output table.
 
     Parameters
     ----------
     source:
-        Script text (straight-line pandas code).
+        Script text (straight-line API-call code).
     data_dir:
-        Directory containing the run's CSV files; ``read_csv`` paths are
+        Directory containing the run's data files; loader paths are
         resolved against it by basename.
     sample_rows:
         When set, every loaded table is down-sampled to at most this many
@@ -353,8 +287,14 @@ def run_script(
         Wall-clock budget for the whole script; on expiry the run fails
         with :class:`ExecTimeout` (``result.timed_out``).  None (the
         default) executes unwatched, exactly as before.
+    dialect:
+        The API surface to execute against — a registered name or an
+        :class:`~repro.dialects.ApiDialect`; None means pandas.
     """
-    namespace = build_sandbox_namespace(data_dir, sample_rows, extra_globals)
+    resolved_dialect = resolve_dialect(dialect)
+    namespace = build_sandbox_namespace(
+        data_dir, sample_rows, extra_globals, dialect=resolved_dialect
+    )
 
     try:
         code = compile(source, "<script>", "exec")
@@ -375,7 +315,9 @@ def run_script(
 
     namespace.pop("__builtins__", None)
     return ExecutionResult(
-        ok=True, output=_select_output(namespace, source), namespace=namespace
+        ok=True,
+        output=resolved_dialect.select_output(namespace, source),
+        namespace=namespace,
     )
 
 
@@ -384,6 +326,7 @@ def check_executes(
     data_dir: Optional[str] = None,
     sample_rows: Optional[int] = 200,
     timeout_s: Optional[float] = None,
+    dialect=None,
 ) -> bool:
     """The paper's CheckIfExecutes(): does the script run without error?
 
@@ -392,7 +335,11 @@ def check_executes(
     inner loop.  A timed-out script simply fails the check.
     """
     result = run_script(
-        source, data_dir=data_dir, sample_rows=sample_rows, timeout_s=timeout_s
+        source,
+        data_dir=data_dir,
+        sample_rows=sample_rows,
+        timeout_s=timeout_s,
+        dialect=dialect,
     )
     return result.ok and result.output is not None
 
@@ -432,9 +379,14 @@ def _check_executes_task(args):
     Returns ``(verdict, timed_out)`` so the parent can account worker-side
     budget expiries separately from ordinary script failures.
     """
-    source, data_dir, sample_rows, timeout_s = args
+    source, data_dir, sample_rows, timeout_s = args[:4]
+    dialect = args[4] if len(args) > 4 else None
     result = run_script(
-        source, data_dir=data_dir, sample_rows=sample_rows, timeout_s=timeout_s
+        source,
+        data_dir=data_dir,
+        sample_rows=sample_rows,
+        timeout_s=timeout_s,
+        dialect=dialect,
     )
     return bool(result.ok and result.output is not None), result.timed_out
 
@@ -477,11 +429,16 @@ def _serial_checks(
     sample_rows: Optional[int],
     timeout_s: Optional[float],
     report: Optional[BatchReport],
+    dialect=None,
 ) -> List[bool]:
     verdicts = []
     for source in sources:
         result = run_script(
-            source, data_dir=data_dir, sample_rows=sample_rows, timeout_s=timeout_s
+            source,
+            data_dir=data_dir,
+            sample_rows=sample_rows,
+            timeout_s=timeout_s,
+            dialect=dialect,
         )
         if report is not None and result.timed_out:
             report.timeouts += 1
@@ -502,6 +459,7 @@ def check_executes_batch(
     shard_affinity: bool = True,
     source_cache_limit: Optional[int] = None,
     affinity_base: Optional[str] = None,
+    dialect=None,
 ) -> List[bool]:
     """CheckIfExecutes() over a wave of candidate scripts.
 
@@ -537,8 +495,11 @@ def check_executes_batch(
     counts plus shard-affinity and bytes-shipped accounting.
     """
     sources = list(sources)
+    dialect_name = resolve_dialect(dialect).name
     if workers <= 1 or len(sources) < 2:
-        return _serial_checks(sources, data_dir, sample_rows, timeout_s, report)
+        return _serial_checks(
+            sources, data_dir, sample_rows, timeout_s, report, dialect=dialect_name
+        )
 
     from . import shards
 
@@ -561,6 +522,7 @@ def check_executes_batch(
                     "exec_timeout_s": timeout_s,
                     "statement_timeout_s": statement_timeout_s,
                     "snapshot_budget": snapshot_budget,
+                    "dialect": dialect_name,
                 },
                 sources=ship,
                 affinity=(
@@ -615,7 +577,12 @@ def check_executes_batch(
         if report is not None:
             report.degraded += 1
         remainder = _serial_checks(
-            [sources[i] for i in pending], data_dir, sample_rows, timeout_s, report
+            [sources[i] for i in pending],
+            data_dir,
+            sample_rows,
+            timeout_s,
+            report,
+            dialect=dialect_name,
         )
         for i, verdict in zip(pending, remainder):
             results[i] = verdict

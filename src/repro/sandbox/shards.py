@@ -231,17 +231,26 @@ def resident_executor(
     exec_timeout_s: Optional[float] = None,
     statement_timeout_s: Optional[float] = None,
     snapshot_budget: int = 64,
+    dialect: Optional[str] = None,
 ):
     """This worker's sticky incremental executor for one sandbox setting.
 
     The executor (and its prefix-snapshot LRU) lives as long as the worker
     process, so waves dispatched rounds apart still resume from snapshots
     made by their shard-mates — the cache amortization the stateless pool
-    threw away per task.
+    threw away per task.  The dialect is part of the setting: snapshots
+    made against one API surface never serve another.
     """
     from .incremental import IncrementalExecutor
 
-    key = (data_dir, sample_rows, exec_timeout_s, statement_timeout_s, snapshot_budget)
+    key = (
+        data_dir,
+        sample_rows,
+        exec_timeout_s,
+        statement_timeout_s,
+        snapshot_budget,
+        dialect,
+    )
     executors = resident["executors"]
     executor = executors.get(key)
     if executor is None:
@@ -251,6 +260,7 @@ def resident_executor(
             snapshot_budget=snapshot_budget,
             exec_timeout_s=exec_timeout_s,
             statement_timeout_s=statement_timeout_s,
+            dialect=dialect,
         )
         executors[key] = executor
         while len(executors) > EXECUTOR_CACHE_LIMIT:
@@ -290,6 +300,7 @@ def _exec_check_task(payload, resident) -> Tuple[bool, bool]:
         payload.get("exec_timeout_s"),
         payload.get("statement_timeout_s"),
         payload.get("snapshot_budget", 64),
+        payload.get("dialect"),
     )
     result = executor.run_script(resolve_source(resident, payload["source_sha"]))
     return (bool(result.ok and result.output is not None), result.timed_out)

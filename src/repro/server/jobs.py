@@ -235,7 +235,8 @@ def resolve_job(job: Dict[str, Any]) -> ResolvedJob:
             }
         ).encode()
     ).hexdigest()
-    key = f"{corpus_key(scripts)}:{shape}"
+    dialect = params["config"].get("dialect", "pandas")
+    key = f"{corpus_key(scripts, dialect)}:{shape}"
     return ResolvedJob(
         job=job,
         key=key,

@@ -274,7 +274,7 @@ class TestIndexRetrieveCommand:
         assert code == 0
         out = capsys.readouterr().out
         lines = [line for line in out.splitlines() if line.strip()]
-        assert lines[0].startswith("pool:")
+        assert lines[0].startswith("pool [pandas]:")
         assert "[audited]" in lines[0]
         assert len(lines) == 3  # header + 2 hits
         assert lines[1].lstrip().startswith("1 ")

@@ -36,7 +36,11 @@ class TestRunScript:
     def test_disallowed_import_fails(self):
         result = run_script("import sklearn")
         assert not result.ok
-        assert result.error_type == "ImportError"
+        # classified sandbox error, still an ImportError for script code
+        assert result.error_type == "SandboxImportError"
+        assert isinstance(result.error, ImportError)
+        assert "'sklearn'" in str(result.error)
+        assert "pandas" in str(result.error)  # names the rejecting dialect
 
     def test_os_import_blocked(self):
         result = run_script("import os")
@@ -206,7 +210,8 @@ class TestGuardedImport:
     def test_disallowed_submodule_blocked(self):
         result = run_script("import os.path")
         assert not result.ok
-        assert result.error_type == "ImportError"
+        assert result.error_type == "SandboxImportError"
+        assert "'os.path'" in str(result.error)  # names the full module
 
     def test_from_import_of_allowed_module(self):
         result = run_script("from math import sqrt\nx = sqrt(9)")
